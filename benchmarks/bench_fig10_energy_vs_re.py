@@ -1,0 +1,22 @@
+"""Figure 10 bench target: EVR energy normalized to Rendering Elimination.
+
+Paper result: 10% average energy reduction over the RE GPU, coming from
+the extra redundant tiles detected and the overshading removed by
+reordering.
+"""
+
+from repro.harness import figure10_energy_vs_re
+
+from conftest import publish
+
+
+def test_figure10_energy_vs_re(benchmark, suite_runner, subset, capsys):
+    result = benchmark.pedantic(
+        lambda: figure10_energy_vs_re(suite_runner, benchmarks=subset),
+        rounds=1, iterations=1,
+    )
+    publish(capsys, result)
+    assert result.summary["avg_savings_vs_re"] > 0.0
+    for row in result.rows[:-1]:
+        name, normalized = row
+        assert normalized < 1.15, f"{name}: EVR much worse than RE"

@@ -1,0 +1,26 @@
+"""Figure 11 bench target: RE and EVR execution time vs the baseline GPU.
+
+Paper result: EVR is faster than both the baseline and RE on every
+benchmark; RE alone can *lose* to the baseline on low-redundancy apps
+(*300*, *mst*) where signature computation isn't amortized, and EVR
+reduces Geometry Pipeline time ~4% vs RE by skipping signature updates
+of occluded primitives.
+"""
+
+from repro.harness import figure11_time_vs_re
+
+from conftest import publish
+
+
+def test_figure11_time_vs_re(benchmark, suite_runner, subset, capsys):
+    result = benchmark.pedantic(
+        lambda: figure11_time_vs_re(suite_runner, benchmarks=subset),
+        rounds=1, iterations=1,
+    )
+    publish(capsys, result)
+    assert result.summary["avg_evr_norm"] < result.summary["avg_re_norm"]
+    for row in result.rows[:-1]:
+        name = row[0]
+        re_total, evr_total = row[3], row[6]
+        assert evr_total <= re_total + 0.05, f"{name}: EVR slower than RE"
+        assert evr_total <= 1.10, f"{name}: EVR slower than baseline"

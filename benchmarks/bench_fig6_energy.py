@@ -1,0 +1,26 @@
+"""Figure 6 bench target: EVR energy normalized to the baseline GPU.
+
+Paper result: 43% average energy reduction, savings on every benchmark
+(maximums above 80% on *cde* and *dpe*); Parameter Buffer layer-id writes
+cost 2.1% and the extra hardware 1.2% on average.
+"""
+
+from repro.harness import figure6_energy
+
+from conftest import publish
+
+
+def test_figure6_energy(benchmark, suite_runner, subset, capsys):
+    result = benchmark.pedantic(
+        lambda: figure6_energy(suite_runner, benchmarks=subset),
+        rounds=1, iterations=1,
+    )
+    publish(capsys, result)
+    # Shape assertions: EVR saves energy on average, and overheads are
+    # small fractions of baseline energy.
+    assert result.summary["avg_energy_savings"] > 0.10
+    for row in result.rows[:-1]:
+        _, normalized, param_overhead, hw_overhead = row
+        assert normalized < 1.05          # savings (tolerate ~noise)
+        assert param_overhead < 0.10
+        assert hw_overhead < 0.10

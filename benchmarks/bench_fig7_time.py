@@ -1,0 +1,24 @@
+"""Figure 7 bench target: EVR execution time normalized to baseline.
+
+Paper result: 39% average execution-time reduction, split into Geometry
+and Raster pipeline cycles, with maximums above 70% (*ccs*, *cde*,
+*dpe*); the signature-computation overhead in the Geometry Pipeline is
+about 0.5% of total time.
+"""
+
+from repro.harness import figure7_time
+
+from conftest import publish
+
+
+def test_figure7_time(benchmark, suite_runner, subset, capsys):
+    result = benchmark.pedantic(
+        lambda: figure7_time(suite_runner, benchmarks=subset),
+        rounds=1, iterations=1,
+    )
+    publish(capsys, result)
+    assert result.summary["avg_time_reduction"] > 0.10
+    for row in result.rows[:-1]:
+        name, geometry, raster, total = row
+        assert total <= 1.10, f"{name} slowed down under EVR"
+        assert geometry >= 0 and raster >= 0

@@ -1,0 +1,28 @@
+"""Figure 8 bench target: shaded fragments per pixel on 3D benchmarks.
+
+Paper result: EVR's reordering removes ~20% of shaded fragments on the
+3D apps and lands close to the perfect-Z oracle; the ordering
+Oracle <= EVR <= Baseline holds everywhere.
+"""
+
+from repro.harness import figure8_overshading
+from repro.scenes import benchmark_names
+
+from conftest import publish
+
+
+def test_figure8_overshading(benchmark, suite_runner, subset, capsys):
+    benchmarks_3d = [
+        alias for alias in (subset or benchmark_names("3D"))
+        if alias in benchmark_names("3D")
+    ] or list(benchmark_names("3D"))
+    result = benchmark.pedantic(
+        lambda: figure8_overshading(suite_runner, benchmarks=benchmarks_3d),
+        rounds=1, iterations=1,
+    )
+    publish(capsys, result)
+    assert result.summary["avg_overshading_reduction"] > 0.05
+    for row in result.rows:
+        name, baseline, evr, oracle = row
+        assert oracle <= evr + 1e-9, f"{name}: EVR beat the oracle?!"
+        assert evr <= baseline + 1e-9, f"{name}: EVR worse than baseline"

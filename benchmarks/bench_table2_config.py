@@ -1,0 +1,17 @@
+"""Table II bench target: print the simulated GPU's parameters."""
+
+from repro import GPUConfig
+from repro.harness import table2_parameters
+
+from conftest import publish
+
+
+def test_table2_parameters(benchmark, capsys):
+    result = benchmark.pedantic(
+        lambda: table2_parameters(GPUConfig.paper()), rounds=1, iterations=1
+    )
+    publish(capsys, result)
+    rendered = result.render()
+    assert "400 MHz" in rendered
+    assert "1196x768" in rendered
+    assert "16x16" in rendered

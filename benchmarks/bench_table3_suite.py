@@ -1,0 +1,14 @@
+"""Table III bench target: print the benchmark suite inventory."""
+
+from repro.harness import table3_suite
+
+from conftest import publish
+
+
+def test_table3_suite(benchmark, capsys):
+    result = benchmark.pedantic(table3_suite, rounds=1, iterations=1)
+    publish(capsys, result)
+    assert len(result.rows) == 20
+    types = [row[3] for row in result.rows]
+    assert types.count("3D") == 6
+    assert types.count("2D") == 14

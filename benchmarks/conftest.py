@@ -1,0 +1,66 @@
+"""Shared infrastructure for the figure-regeneration bench targets.
+
+All bench targets share one memoizing :class:`SuiteRunner` so that the
+~90 (benchmark, mode) simulations are executed once per session even
+though several figures consume the same runs.
+
+Environment knobs:
+
+* ``REPRO_BENCH_FRAMES`` — frames per run (default 10; the paper uses
+  60, which also works but takes proportionally longer).
+* ``REPRO_BENCH_SUBSET`` — comma-separated benchmark aliases to restrict
+  the suite (default: all 20).
+* ``REPRO_BENCH_WIDTH`` / ``REPRO_BENCH_HEIGHT`` — screen size (default
+  192x160; use 1196x768 for the paper's full resolution).
+
+Rendered tables are printed to the terminal (bypassing capture) and
+saved under ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional
+
+import pytest
+
+from repro import GPUConfig
+from repro.harness.runner import SuiteRunner
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def bench_config() -> GPUConfig:
+    frames = int(os.environ.get("REPRO_BENCH_FRAMES", "10"))
+    width = int(os.environ.get("REPRO_BENCH_WIDTH", "192"))
+    height = int(os.environ.get("REPRO_BENCH_HEIGHT", "160"))
+    return GPUConfig(screen_width=width, screen_height=height, frames=frames)
+
+
+def bench_subset() -> Optional[List[str]]:
+    subset = os.environ.get("REPRO_BENCH_SUBSET", "")
+    if not subset:
+        return None
+    return [alias.strip() for alias in subset.split(",") if alias.strip()]
+
+
+@pytest.fixture(scope="session")
+def suite_runner() -> SuiteRunner:
+    return SuiteRunner(bench_config())
+
+
+@pytest.fixture(scope="session")
+def subset() -> Optional[List[str]]:
+    return bench_subset()
+
+
+def publish(capsys, result) -> None:
+    """Print a figure's table (bypassing capture) and save it."""
+    text = result.render()
+    with capsys.disabled():
+        print()
+        print(text)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    filename = result.experiment.lower().replace(" ", "_") + ".txt"
+    with open(os.path.join(RESULTS_DIR, filename), "w") as handle:
+        handle.write(text + "\n")

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Keyframed camera flythrough: how camera motion interacts with EVR.
+
+Builds a small town of boxes and flies a keyframed camera through it.
+A moving camera invalidates almost every tile every frame — Rendering
+Elimination finds nothing — yet EVR's FVP prediction still reduces
+overshading frame over frame (visibility is coherent even when pixels
+are not), and the static HUD band remains skippable.
+
+This is the *300*/*mst* behaviour of the paper's Figure 9, isolated.
+
+Usage::
+
+    python examples/flythrough.py [frames]
+"""
+
+import sys
+
+from repro import GPU, GPUConfig, PipelineMode
+from repro.harness import format_table
+from repro.math3d import Vec3, Vec4
+from repro.scenes import BoxSpec, HUDSpec, KeyframePath, Scene3D
+
+
+class FlythroughScene(Scene3D):
+    """A Scene3D whose eye follows a keyframed path."""
+
+    def __init__(self, config, path: KeyframePath):
+        towers = [
+            BoxSpec(center=Vec3(x, 2.0, z), size=Vec3(2.0, 4.0, 2.0),
+                    color=Vec4(0.5 + 0.05 * i, 0.45, 0.4, 1.0),
+                    name=f"tower{i}")
+            for i, (x, z) in enumerate(
+                ((-6, -6), (6, -6), (-6, 6), (6, 6), (0, -8), (0, 8))
+            )
+        ]
+        super().__init__(
+            config.screen_width, config.screen_height,
+            boxes=towers,
+            hud=HUDSpec(panels=((0, config.screen_height - 16,
+                                 config.screen_width, 16),)),
+            camera_target=Vec3(0.0, 1.0, 0.0),
+        )
+        self._path = path
+
+    def eye(self, frame: int) -> Vec3:
+        return self._path.position(frame)
+
+
+def main() -> None:
+    frames = int(sys.argv[1]) if len(sys.argv) > 1 else 12
+    config = GPUConfig.default(frames=frames)
+    path = KeyframePath.through(
+        [
+            Vec3(14.0, 6.0, 14.0),
+            Vec3(0.0, 7.0, 18.0),
+            Vec3(-14.0, 5.0, 12.0),
+            Vec3(-16.0, 6.0, -2.0),
+        ],
+        frames_per_segment=frames / 3.0,
+        easing="smooth",
+    )
+    scene = FlythroughScene(config, path)
+    stream = scene.stream(frames)
+
+    rows = []
+    for mode in (PipelineMode.BASELINE, PipelineMode.RE, PipelineMode.EVR):
+        result = GPU(config, mode).render_stream(stream)
+        stats = result.total_stats()
+        rows.append([
+            mode.value,
+            result.redundant_tile_rate(),
+            result.shaded_fragments_per_pixel(),
+            stats.early_z_kills,
+        ])
+    print(format_table(
+        ["mode", "tiles skipped", "frags/px", "early-Z kills"],
+        rows,
+        title=f"keyframed flythrough, {frames} frames "
+              "(camera moves every frame)",
+    ))
+    print("\nWith the camera in motion RE finds only the static HUD band, "
+          "while EVR's frame-coherent visibility prediction still cuts "
+          "overshading — the paper's 300/mst case.")
+
+
+if __name__ == "__main__":
+    main()

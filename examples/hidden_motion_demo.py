@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Hidden-motion demo: the case EVR-aided Rendering Elimination exists for.
+
+A farm-simulation-style scene (the paper's *hay*) animates sprites under
+a static opaque toolbar.  Baseline RE cannot skip those tiles — the
+moving sprites change the tile signature every frame even though nothing
+visible changes — while EVR predicts them occluded, leaves them out of
+the signature, and keeps skipping.
+
+Prints the per-frame skip counts side by side and verifies the rendered
+images are pixel-identical.
+
+Usage::
+
+    python examples/hidden_motion_demo.py [frames]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import GPU, GPUConfig, PipelineMode
+from repro.harness import format_table
+from repro.scenes import benchmark_stream
+
+
+def per_frame_skips(config, stream, mode):
+    gpu = GPU(config, mode)
+    skips = []
+    images = []
+    for frame in stream:
+        result = gpu.render_frame(frame)
+        skips.append(result.stats.tiles_skipped)
+        images.append(result.image)
+    return skips, images
+
+
+def main() -> None:
+    frames = int(sys.argv[1]) if len(sys.argv) > 1 else 10
+    config = GPUConfig.default(frames=frames)
+    stream = benchmark_stream("hay", config)
+
+    re_skips, re_images = per_frame_skips(config, stream, PipelineMode.RE)
+    evr_skips, evr_images = per_frame_skips(config, stream, PipelineMode.EVR)
+
+    rows = [
+        [index, config.num_tiles, re_count, evr_count,
+         evr_count - re_count]
+        for index, (re_count, evr_count)
+        in enumerate(zip(re_skips, evr_skips))
+    ]
+    print(format_table(
+        ["frame", "tiles", "RE skips", "EVR skips", "EVR advantage"],
+        rows,
+        title="hay (Hayday): animated critters under a static opaque HUD",
+    ))
+
+    for index, (re_image, evr_image) in enumerate(zip(re_images, evr_images)):
+        assert np.array_equal(re_image, evr_image), f"frame {index} differs!"
+    print("\nAll frames pixel-identical between RE and EVR (the paper's "
+          "Table I safety argument, verified).")
+
+    steady_re = sum(re_skips[2:])
+    steady_evr = sum(evr_skips[2:])
+    total = config.num_tiles * (frames - 2)
+    print(f"Steady state: RE skips {steady_re / total:.1%} of tiles, "
+          f"EVR skips {steady_evr / total:.1%} "
+          f"(+{(steady_evr - steady_re) / total:.1%}; the paper reports "
+          ">10% extra on hay/wmw, up to 30%).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""repro — a reproduction of *Early Visibility Resolution for Removing
+Ineffectual Computations in the Graphics Pipeline* (HPCA 2019).
+
+The package implements a tile-based-rendering mobile GPU simulator
+(functional + event-cost model), the Rendering Elimination technique, and
+the paper's EVR mechanism (FVP-based visibility prediction, Algorithm-1
+display-list reordering, and signature filtering), together with synthetic
+benchmark scenes and a harness regenerating every figure of the paper.
+
+Quickstart::
+
+    from repro import GPU, GPUConfig, PipelineMode
+    from repro.scenes import benchmark_stream
+
+    config = GPUConfig.default(frames=8)
+    stream = benchmark_stream("cde", config)
+    result = GPU(config, PipelineMode.EVR).render_stream(stream)
+    print(result.total_cycles().total, result.redundant_tile_rate())
+"""
+
+from .config import CacheConfig, GPUConfig, QueueConfig
+from .errors import (
+    CommandError,
+    ConfigError,
+    MemoryModelError,
+    PipelineError,
+    ReproError,
+    SceneError,
+)
+from .commands import (
+    BlendMode,
+    DrawCommand,
+    Frame,
+    FrameStream,
+    RenderState,
+    ShaderProfile,
+)
+from .pipeline import (
+    GPU,
+    FrameResult,
+    PipelineFeatures,
+    PipelineMode,
+    RunResult,
+)
+from .validate import ValidationReport, validate_stream
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "GPUConfig",
+    "CacheConfig",
+    "QueueConfig",
+    "ReproError",
+    "ConfigError",
+    "PipelineError",
+    "CommandError",
+    "SceneError",
+    "MemoryModelError",
+    "ShaderProfile",
+    "BlendMode",
+    "RenderState",
+    "DrawCommand",
+    "Frame",
+    "FrameStream",
+    "GPU",
+    "PipelineFeatures",
+    "PipelineMode",
+    "FrameResult",
+    "RunResult",
+    "validate_stream",
+    "ValidationReport",
+]

@@ -1,0 +1,256 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Subcommands:
+
+* ``list`` — show the benchmark suite (Table III).
+* ``run`` — simulate one benchmark under one or more pipeline modes and
+  print the headline metrics.
+* ``figure`` — regenerate one of the paper's figures/tables.
+* ``render`` — render a benchmark's frames to PPM images.
+* ``report`` — paper-vs-measured markdown report (EXPERIMENTS.md body).
+* ``validate`` — cross-mode pixel-equality and invariant checks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from .config import GPUConfig
+from .harness import (
+    ablation_draw_order,
+    ablation_history,
+    ablation_prediction_point,
+    ablation_subtile,
+    figure6_energy,
+    figure7_time,
+    figure8_overshading,
+    figure9_redundant_tiles,
+    figure10_energy_vs_re,
+    figure11_time_vs_re,
+    format_table,
+    table2_parameters,
+    table3_suite,
+)
+from .harness.alternatives import culling_alternatives
+from .harness.balance import pipeline_balance_report
+from .harness.timeseries import frame_series, write_csv
+from .harness.report import render_report
+from .harness.runner import SuiteRunner
+from .imageio import write_ppm
+from .pipeline import GPU, PipelineMode
+from .scenes import BENCHMARKS, benchmark_stream
+from .validate import validate_stream
+
+_FIGURES = {
+    "table2": lambda runner, subset: table2_parameters(),
+    "table3": lambda runner, subset: table3_suite(),
+    "fig6": figure6_energy,
+    "fig7": figure7_time,
+    "fig8": figure8_overshading,
+    "fig9": figure9_redundant_tiles,
+    "fig10": figure10_energy_vs_re,
+    "fig11": figure11_time_vs_re,
+    "ablation-point": lambda runner, subset: ablation_prediction_point(
+        runner.config, benchmarks=subset or ("tib", "ata")
+    ),
+    "ablation-history": lambda runner, subset: ablation_history(
+        runner.config, benchmarks=subset or ("tib", "ata")
+    ),
+    "ablation-order": lambda runner, subset: ablation_draw_order(
+        runner.config
+    ),
+    "ablation-subtile": lambda runner, subset: ablation_subtile(
+        runner.config, benchmarks=subset or ("tib", "ata")
+    ),
+    "balance": lambda runner, subset: pipeline_balance_report(
+        runner.config, benchmarks=subset or ("cde", "tib", "300")
+    ),
+    "alternatives": lambda runner, subset: culling_alternatives(
+        runner.config, benchmarks=subset or ("tib", "ata")
+    ),
+}
+
+
+def _config_from_args(args: argparse.Namespace) -> GPUConfig:
+    return GPUConfig(
+        screen_width=args.width,
+        screen_height=args.height,
+        frames=args.frames,
+    )
+
+
+def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--frames", type=int, default=10,
+                        help="frames to simulate (default 10; paper: 60)")
+    parser.add_argument("--width", type=int, default=192,
+                        help="screen width in pixels (paper: 1196)")
+    parser.add_argument("--height", type=int, default=160,
+                        help="screen height in pixels (paper: 768)")
+
+
+def _command_list(args: argparse.Namespace) -> int:
+    print(table3_suite().render())
+    return 0
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    config = _config_from_args(args)
+    stream = benchmark_stream(args.benchmark, config)
+    modes = [PipelineMode(mode) for mode in args.modes]
+    rows = []
+    baseline_cycles: Optional[float] = None
+    for mode in modes:
+        result = GPU(config, mode).render_stream(stream)
+        if args.csv:
+            path = f"{args.csv.rstrip('.csv')}_{mode.value}.csv"
+            write_csv(frame_series(result), path)
+            print(f"per-frame series -> {path}")
+        cycles = result.total_cycles()
+        if baseline_cycles is None:
+            baseline_cycles = cycles.total
+        rows.append([
+            mode.value,
+            round(cycles.geometry),
+            round(cycles.raster),
+            cycles.total / baseline_cycles,
+            result.total_energy().total * 1e3,
+            result.redundant_tile_rate(),
+            result.shaded_fragments_per_pixel(),
+        ])
+    print(format_table(
+        ["mode", "geom cyc", "raster cyc", "time vs first",
+         "energy (mJ)", "tiles skipped", "frags/px"],
+        rows,
+        title=f"{args.benchmark} @ {config.screen_width}x"
+              f"{config.screen_height}, {config.frames} frames",
+    ))
+    return 0
+
+
+def _command_figure(args: argparse.Namespace) -> int:
+    config = _config_from_args(args)
+    runner = SuiteRunner(config)
+    subset = args.benchmarks or None
+    result = _FIGURES[args.figure](runner, subset)
+    print(result.render())
+    return 0
+
+
+def _command_render(args: argparse.Namespace) -> int:
+    config = _config_from_args(args)
+    stream = benchmark_stream(args.benchmark, config)
+    mode = PipelineMode(args.mode)
+    os.makedirs(args.output, exist_ok=True)
+    gpu = GPU(config, mode)
+    for frame in stream:
+        result = gpu.render_frame(frame)
+        path = os.path.join(
+            args.output, f"{args.benchmark}_{frame.index:03d}.ppm"
+        )
+        write_ppm(path, result.image)
+        print(f"frame {frame.index}: {result.stats.fragments_shaded} "
+              f"fragments, {result.stats.tiles_skipped} tiles skipped "
+              f"-> {path}")
+    return 0
+
+
+def _command_report(args: argparse.Namespace) -> int:
+    config = _config_from_args(args)
+    report = render_report(SuiteRunner(config))
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(report)
+        print(f"report written to {args.output}")
+    else:
+        print(report)
+    return 0
+
+
+def _command_validate(args: argparse.Namespace) -> int:
+    config = _config_from_args(args)
+    stream = benchmark_stream(args.benchmark, config)
+    report = validate_stream(stream, config)
+    print(report.render())
+    return 0 if report.passed else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="EVR (HPCA 2019) reproduction: TBR GPU simulator, "
+                    "benchmarks and figure regeneration.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="show the benchmark suite")
+
+    run_parser = subparsers.add_parser("run", help="simulate one benchmark")
+    run_parser.add_argument("benchmark", choices=sorted(BENCHMARKS))
+    run_parser.add_argument(
+        "--csv", default="",
+        help="also dump a per-frame CSV per mode (prefix path)",
+    )
+    run_parser.add_argument(
+        "--modes", nargs="+",
+        default=["baseline", "re", "evr"],
+        choices=[mode.value for mode in PipelineMode],
+        help="pipeline modes to compare (first is the normalization base)",
+    )
+    _add_config_arguments(run_parser)
+
+    figure_parser = subparsers.add_parser(
+        "figure", help="regenerate a paper table/figure or an ablation"
+    )
+    figure_parser.add_argument("figure", choices=sorted(_FIGURES))
+    figure_parser.add_argument(
+        "--benchmarks", nargs="*",
+        help="restrict to these benchmark aliases",
+    )
+    _add_config_arguments(figure_parser)
+
+    render_parser = subparsers.add_parser(
+        "render", help="render a benchmark's frames to PPM files"
+    )
+    render_parser.add_argument("benchmark", choices=sorted(BENCHMARKS))
+    render_parser.add_argument("--mode", default="evr",
+                               choices=[mode.value for mode in PipelineMode])
+    render_parser.add_argument("--output", default="out_frames")
+    _add_config_arguments(render_parser)
+
+    report_parser = subparsers.add_parser(
+        "report", help="paper-vs-measured markdown report (full suite)"
+    )
+    report_parser.add_argument("--output", default="",
+                               help="write to a file instead of stdout")
+    _add_config_arguments(report_parser)
+
+    validate_parser = subparsers.add_parser(
+        "validate",
+        help="verify all modes render identical images on a benchmark",
+    )
+    validate_parser.add_argument("benchmark", choices=sorted(BENCHMARKS))
+    _add_config_arguments(validate_parser)
+
+    return parser
+
+
+_COMMANDS = {
+    "list": _command_list,
+    "run": _command_run,
+    "figure": _command_figure,
+    "render": _command_render,
+    "report": _command_report,
+    "validate": _command_validate,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,23 @@
+"""The command-stream API: what an application submits to the GPU.
+
+This plays the role of the intercepted OpenGL ES command trace in the
+paper's methodology: per frame, an ordered list of draw commands, each
+carrying geometry, a model transform and a :class:`RenderState` (depth
+write/test, blending, shader cost profile).
+"""
+
+from .state import BlendMode, RenderState, ShaderProfile
+from .draw import DrawCommand
+from .stream import Frame, FrameStream
+from .trace import load_trace, save_trace
+
+__all__ = [
+    "ShaderProfile",
+    "BlendMode",
+    "RenderState",
+    "DrawCommand",
+    "Frame",
+    "FrameStream",
+    "save_trace",
+    "load_trace",
+]

@@ -1,0 +1,74 @@
+"""Draw commands: one batch of triangles sharing a render state."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional
+
+from ..errors import CommandError
+from ..geom import Mesh, Triangle
+from ..math3d import Mat4
+from .state import RenderState
+
+
+@dataclass
+class DrawCommand:
+    """One draw call: a mesh, a model transform and a render state.
+
+    In the paper's terminology a draw command is what increments the
+    per-tile layer identifier — all primitives of the same command that
+    land in a tile share a layer.
+
+    Attributes:
+        triangles: object-space triangles, in submission order.
+        model: object-to-world transform applied by the vertex shader.
+        state: fixed-function state and shader cost profile.
+        label: human-readable identity for traces and debugging.
+        view: per-command view override (None: use the frame's).  Real
+            applications rebind matrices between draws — e.g. a HUD
+            rendered with an orthographic screen-space projection after
+            the 3D scene used a perspective one.
+        projection: per-command projection override (None: use the
+            frame's).
+    """
+
+    triangles: List[Triangle]
+    model: Mat4 = field(default_factory=Mat4.identity)
+    state: RenderState = field(default_factory=RenderState)
+    label: str = ""
+    view: Optional[Mat4] = None
+    projection: Optional[Mat4] = None
+
+    def __post_init__(self) -> None:
+        if not self.triangles:
+            raise CommandError(f"draw command {self.label!r} has no geometry")
+
+    @classmethod
+    def from_mesh(
+        cls,
+        mesh: Mesh,
+        model: Mat4 = Mat4.identity(),
+        state: RenderState = RenderState(),
+        label: str = "",
+        view: Optional[Mat4] = None,
+        projection: Optional[Mat4] = None,
+    ) -> "DrawCommand":
+        return cls(
+            list(mesh.triangles),
+            model=model,
+            state=state,
+            label=label,
+            view=view,
+            projection=projection,
+        )
+
+    @property
+    def triangle_count(self) -> int:
+        return len(self.triangles)
+
+    @property
+    def vertex_count(self) -> int:
+        return 3 * len(self.triangles)
+
+    def iter_triangles(self) -> Iterable[Triangle]:
+        return iter(self.triangles)

@@ -1,0 +1,154 @@
+"""Render state attached to draw commands.
+
+The state determines the two classifications that drive everything in the
+paper:
+
+* **WOZ vs NWOZ** — a primitive "writes on Z" when depth writing is
+  enabled; 2D painter's-algorithm sprites and translucent geometry do not.
+* **opaque vs translucent** — an opaque fragment fully occludes what is
+  behind it, so it may update the Layer Buffer; a blended fragment may not.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass
+
+from ..errors import CommandError
+
+
+class BlendMode(enum.Enum):
+    """How a shaded fragment combines with the Color Buffer."""
+
+    OPAQUE = "opaque"            # src replaces dst
+    ALPHA = "alpha"              # src*a + dst*(1-a), order dependent
+
+
+@dataclass(frozen=True)
+class ShaderProfile:
+    """Cost profile of the programmable shaders bound to a command.
+
+    The functional simulator does not execute shader ISA; instead each
+    command declares how expensive its shaders are, which the timing and
+    energy models convert into cycles and joules.  This mirrors how the
+    paper's traces carry shader instruction counts into the Teapot timing
+    model.
+
+    Attributes:
+        vertex_instructions: ALU instructions per vertex.
+        fragment_instructions: ALU instructions per shaded fragment.
+        texture_fetches: texture samples per shaded fragment (each one
+            becomes a texture-cache access in the memory model).
+        texture_id: which texture is sampled; fragments of the same
+            texture hit the same cache lines.
+        texture_size: square texture dimension in texels, used to spread
+            texture accesses over a realistic address range.
+    """
+
+    vertex_instructions: int = 8
+    fragment_instructions: int = 12
+    texture_fetches: int = 1
+    texture_id: int = 0
+    texture_size: int = 256
+
+    def __post_init__(self) -> None:
+        if self.vertex_instructions < 0 or self.fragment_instructions < 0:
+            raise CommandError("shader instruction counts cannot be negative")
+        if self.texture_fetches < 0:
+            raise CommandError("texture fetch count cannot be negative")
+        if self.texture_size <= 0:
+            raise CommandError("texture size must be positive")
+
+    def pack(self) -> bytes:
+        """Byte encoding included in RE signatures (shader identity is an
+        input to the rendered colors, so it must affect the CRC)."""
+        return struct.pack(
+            "<5i",
+            self.vertex_instructions,
+            self.fragment_instructions,
+            self.texture_fetches,
+            self.texture_id,
+            self.texture_size,
+        )
+
+
+@dataclass(frozen=True)
+class RenderState:
+    """Fixed-function state for one draw command.
+
+    Attributes:
+        depth_test: whether fragments are depth-tested against the
+            Z-buffer.
+        depth_write: whether passing fragments update the Z-buffer.
+            ``depth_write=True`` makes the command's primitives WOZ.
+        blend: how fragments merge into the Color Buffer.
+        shader: cost profile of the bound shaders.
+        cull_backface: discard back-facing triangles in Primitive
+            Assembly.  Front-facing means counter-clockwise in NDC (the
+            GL default), i.e. *negative* signed area in this pipeline's
+            y-down window coordinates.  2D sprite batches leave it off,
+            as real 2D engines do.
+    """
+
+    depth_test: bool = True
+    depth_write: bool = True
+    blend: BlendMode = BlendMode.OPAQUE
+    shader: ShaderProfile = ShaderProfile()
+    cull_backface: bool = False
+
+    def __post_init__(self) -> None:
+        if self.depth_write and not self.depth_test:
+            raise CommandError(
+                "depth_write without depth_test is not a meaningful GLES "
+                "state for this pipeline model"
+            )
+
+    @property
+    def writes_z(self) -> bool:
+        """True when this state produces WOZ primitives."""
+        return self.depth_write
+
+    @property
+    def opaque(self) -> bool:
+        """True when fragments fully replace the destination color.
+
+        Alpha-blended fragments with vertex alpha == 1 are also treated
+        as opaque at the Layer Buffer (the paper checks the final blend
+        factor); that refinement is applied per fragment in the blend
+        stage — this property reflects the *state-level* classification.
+        """
+        return self.blend is BlendMode.OPAQUE
+
+    # -- canonical states ---------------------------------------------------
+
+    @classmethod
+    def opaque_3d(cls, shader: ShaderProfile = ShaderProfile(),
+                  cull_backface: bool = True) -> "RenderState":
+        """Depth-tested, depth-writing opaque geometry (WOZ)."""
+        return cls(depth_test=True, depth_write=True,
+                   blend=BlendMode.OPAQUE, shader=shader,
+                   cull_backface=cull_backface)
+
+    @classmethod
+    def translucent_3d(cls, shader: ShaderProfile = ShaderProfile()) -> "RenderState":
+        """Depth-tested but non-writing blended geometry (NWOZ)."""
+        return cls(depth_test=True, depth_write=False,
+                   blend=BlendMode.ALPHA, shader=shader)
+
+    @classmethod
+    def sprite_2d(cls, shader: ShaderProfile = ShaderProfile(),
+                  blend: BlendMode = BlendMode.OPAQUE) -> "RenderState":
+        """Painter's-algorithm 2D sprite: no depth test, no depth write."""
+        return cls(depth_test=False, depth_write=False, blend=blend,
+                   shader=shader)
+
+    def pack(self) -> bytes:
+        """Byte encoding included in RE signatures."""
+        flags = (
+            (1 if self.depth_test else 0)
+            | (2 if self.depth_write else 0)
+            | (4 if self.blend is BlendMode.ALPHA else 0)
+            | (8 if self.cull_backface else 0)
+        )
+        return bytes([flags]) + self.shader.pack()

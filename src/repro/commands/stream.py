@@ -1,0 +1,89 @@
+"""Frames and frame streams: the unit of work the GPU consumes.
+
+A :class:`Frame` is everything the application submits between two screen
+refreshes: camera matrices plus an ordered list of draw commands.  A
+:class:`FrameStream` is a finite sequence of frames — the equivalent of the
+paper's 60-frame application traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, List, Sequence
+
+from ..errors import CommandError
+from ..math3d import Mat4
+from .draw import DrawCommand
+
+
+@dataclass
+class Frame:
+    """One frame's worth of GPU input.
+
+    Attributes:
+        commands: draw commands in submission order.  Order matters: it
+            defines painter's-algorithm visibility for NWOZ geometry and
+            layer-identifier assignment.
+        view: world-to-camera transform.
+        projection: camera-to-clip transform.
+        index: frame number within the stream.
+    """
+
+    commands: List[DrawCommand]
+    view: Mat4 = field(default_factory=Mat4.identity)
+    projection: Mat4 = field(default_factory=Mat4.identity)
+    index: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.commands:
+            raise CommandError(f"frame {self.index} has no draw commands")
+
+    @property
+    def triangle_count(self) -> int:
+        return sum(cmd.triangle_count for cmd in self.commands)
+
+    @property
+    def vertex_count(self) -> int:
+        return sum(cmd.vertex_count for cmd in self.commands)
+
+
+class FrameStream:
+    """A finite sequence of frames, lazily generated.
+
+    Scenes provide a ``builder(frame_index) -> Frame`` callable; the stream
+    memoizes nothing so that replaying it yields identical frames (scene
+    builders are required to be deterministic functions of the index).
+    """
+
+    def __init__(self, builder: Callable[[int], Frame], num_frames: int):
+        if num_frames <= 0:
+            raise CommandError("a frame stream needs at least one frame")
+        self._builder = builder
+        self._num_frames = num_frames
+
+    def __len__(self) -> int:
+        return self._num_frames
+
+    def __iter__(self) -> Iterator[Frame]:
+        for index in range(self._num_frames):
+            yield self.frame(index)
+
+    def frame(self, index: int) -> Frame:
+        """Build frame ``index`` (0-based)."""
+        if not 0 <= index < self._num_frames:
+            raise CommandError(
+                f"frame index {index} out of range [0, {self._num_frames})"
+            )
+        frame = self._builder(index)
+        if frame.index != index:
+            raise CommandError(
+                f"scene builder returned frame index {frame.index}, "
+                f"expected {index}"
+            )
+        return frame
+
+    @classmethod
+    def from_frames(cls, frames: Sequence[Frame]) -> "FrameStream":
+        """Wrap an already-materialized list of frames."""
+        frame_list = list(frames)
+        return cls(lambda index: frame_list[index], len(frame_list))

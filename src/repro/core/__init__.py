@@ -1,0 +1,24 @@
+"""The paper's contribution: Early Visibility Resolution and its two uses.
+
+* :mod:`repro.core.evr` — FVP computation and the visibility predictor.
+* :mod:`repro.core.reorder` — Algorithm 1, the two-list display-list
+  reordering that boosts the Early Depth Test.
+* :mod:`repro.core.rendering_elimination` — baseline RE and the EVR-aided
+  variant that excludes predicted-occluded primitives from signatures.
+* :mod:`repro.core.oracle` — the two oracle references used by Figures 8
+  and 9 (perfect Z-prepass, perfect redundant-tile detection).
+"""
+
+from .evr import VisibilityPredictor, compute_fvp, predict_occluded
+from .reorder import place_in_display_list
+from .rendering_elimination import RenderingElimination
+from .oracle import OracleTileComparator
+
+__all__ = [
+    "predict_occluded",
+    "compute_fvp",
+    "VisibilityPredictor",
+    "place_in_display_list",
+    "RenderingElimination",
+    "OracleTileComparator",
+]

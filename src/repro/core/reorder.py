@@ -1,0 +1,48 @@
+"""Algorithm 1: FVP-based display-list reordering (Section IV-A).
+
+Each tile's Display List is split in two.  WOZ primitives predicted
+visible go to the first list; WOZ primitives predicted occluded go to the
+second list, which the raster pipeline drains last — after the (predicted)
+visible geometry has filled the Z-buffer, so the Early Depth Test rejects
+their fragments.
+
+NWOZ primitives must keep their submission order relative to *everything*
+(painter's algorithm / blending are order dependent), so when an NWOZ
+primitive arrives the second list is first folded back into the first.
+
+Only WOZ primitives are ever reordered among themselves, and WOZ
+visibility is resolved by the Z-buffer regardless of order, so the
+transformation can never change the rendered image.
+"""
+
+from __future__ import annotations
+
+from ..hw.parameter_buffer import DisplayList, DisplayListEntry
+
+
+def place_in_display_list(
+    display_list: DisplayList,
+    entry: DisplayListEntry,
+    writes_z: bool,
+    predicted_occluded: bool,
+    reorder_enabled: bool = True,
+) -> None:
+    """Append ``entry`` to the tile's display list per Algorithm 1.
+
+    With ``reorder_enabled=False`` this degenerates to the baseline
+    single-list behaviour (everything appended to the first list in
+    submission order).
+    """
+    if not reorder_enabled:
+        display_list.append_first(entry)
+        return
+    if writes_z:
+        if predicted_occluded:
+            display_list.append_second(entry)
+        else:
+            display_list.append_first(entry)
+        return
+    # NWOZ primitive: restore global order before appending.
+    if display_list.second:
+        display_list.promote_second()
+    display_list.append_first(entry)

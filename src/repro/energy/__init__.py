@@ -1,0 +1,12 @@
+"""Energy model: event counters + memory traffic -> joules.
+
+Plays the role McPAT plays in the paper: every architectural event has a
+per-access energy, on-chip structures add static (leakage) power, and DRAM
+traffic dominates — which is precisely why removing ineffectual fragment
+work and skipping redundant tiles saves so much energy.
+"""
+
+from .params import EnergyParameters
+from .model import EnergyBreakdown, EnergyModel
+
+__all__ = ["EnergyParameters", "EnergyModel", "EnergyBreakdown"]

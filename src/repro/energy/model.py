@@ -1,0 +1,166 @@
+"""Energy accounting: turns event counters and memory traffic into joules.
+
+The breakdown mirrors the stacks of the paper's Figure 6: baseline GPU
+energy (compute + caches + DRAM + on-chip buffers + static), the Parameter
+Buffer overhead of storing layer identifiers, the extra EVR hardware
+(Layer Generator Table, FVP Table, Layer Buffer), and the Rendering
+Elimination structures (Signature Buffer + CRC unit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping
+
+from ..config import GPUConfig
+from ..timing.stats import FrameStats
+from .params import EnergyParameters
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Joules attributed to each architectural component."""
+
+    compute: float
+    caches: float
+    onchip_buffers: float
+    dram: float
+    static: float
+    parameter_buffer_overhead: float
+    evr_structures: float
+    re_structures: float
+
+    @property
+    def total(self) -> float:
+        return (
+            self.compute
+            + self.caches
+            + self.onchip_buffers
+            + self.dram
+            + self.static
+            + self.parameter_buffer_overhead
+            + self.evr_structures
+            + self.re_structures
+        )
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "compute": self.compute,
+            "caches": self.caches,
+            "onchip_buffers": self.onchip_buffers,
+            "dram": self.dram,
+            "static": self.static,
+            "parameter_buffer_overhead": self.parameter_buffer_overhead,
+            "evr_structures": self.evr_structures,
+            "re_structures": self.re_structures,
+            "total": self.total,
+        }
+
+
+_PJ = 1e-12
+
+
+class EnergyModel:
+    """McPAT-stand-in: per-event energies plus static power."""
+
+    def __init__(self, config: GPUConfig,
+                 params: EnergyParameters = EnergyParameters()):
+        self.config = config
+        self.params = params
+
+    def compute(
+        self,
+        stats: FrameStats,
+        memory_snapshot: Mapping[str, Mapping[str, int]],
+        total_cycles: float,
+        evr_enabled: bool,
+        re_enabled: bool,
+    ) -> EnergyBreakdown:
+        """Energy for a frame or a whole run.
+
+        Args:
+            stats: accumulated event counters.
+            memory_snapshot: :meth:`repro.memsys.MemorySystem.snapshot`.
+            total_cycles: cycles the GPU was active (for static energy).
+            evr_enabled: charge EVR structure dynamic+static energy.
+            re_enabled: charge RE structure dynamic+static energy.
+        """
+        p = self.params
+
+        compute_pj = (
+            (stats.vertex_instructions + stats.fragment_instructions) * p.alu_op_pj
+            + stats.raster_attributes * p.rasterizer_attribute_pj
+            + (stats.early_z_tests + stats.prepass_fragments)
+            * p.early_z_test_pj
+            + stats.blend_operations * p.blend_op_pj
+        )
+
+        caches_pj = self._cache_energy(memory_snapshot)
+
+        onchip_pj = (
+            (stats.early_z_tests + stats.depth_writes + stats.blend_operations
+             + stats.prepass_fragments + stats.prepass_depth_writes)
+            * p.color_depth_buffer_pj
+        )
+
+        dram = memory_snapshot.get("dram", {})
+        dram_bytes = dram.get("read_bytes", 0) + dram.get("write_bytes", 0)
+        dram_requests = dram.get("read_requests", 0) + dram.get("write_requests", 0)
+        dram_pj = dram_bytes * p.dram_pj_per_byte + dram_requests * p.dram_request_pj
+
+        static_j = p.static_joules(
+            p.gpu_static_mw, total_cycles, self.config.frequency_mhz
+        )
+
+        parameter_overhead_pj = 0.0
+        evr_pj = 0.0
+        if evr_enabled:
+            # Layer identifiers are extra Parameter Buffer state: they are
+            # written through the tile cache and eventually reach DRAM, so
+            # the marginal energy is DRAM-class per byte (the paper's 2.1%
+            # average overhead in Figure 6).
+            parameter_overhead_pj = stats.layer_id_bytes * p.dram_pj_per_byte
+            evr_pj = (
+                stats.lgt_accesses * p.lgt_access_pj
+                + stats.fvp_lookups * p.fvp_access_pj
+                + stats.fvp_updates * p.fvp_access_pj
+                + stats.layer_buffer_writes * p.layer_buffer_access_pj
+            ) + p.static_joules(
+                p.evr_structures_static_mw, total_cycles, self.config.frequency_mhz
+            ) / _PJ
+
+        re_pj = 0.0
+        if re_enabled:
+            re_pj = stats.signature_updates * (
+                p.signature_access_pj + p.crc_combine_pj
+            ) + stats.signature_checks * p.signature_access_pj + p.static_joules(
+                p.re_structures_static_mw, total_cycles, self.config.frequency_mhz
+            ) / _PJ
+
+        return EnergyBreakdown(
+            compute=compute_pj * _PJ,
+            caches=caches_pj * _PJ,
+            onchip_buffers=onchip_pj * _PJ,
+            dram=dram_pj * _PJ,
+            static=static_j,
+            parameter_buffer_overhead=parameter_overhead_pj * _PJ,
+            evr_structures=evr_pj * _PJ,
+            re_structures=re_pj * _PJ,
+        )
+
+    def _cache_energy(
+        self, memory_snapshot: Mapping[str, Mapping[str, int]]
+    ) -> float:
+        p = self.params
+        total_pj = 0.0
+        for name, snap in memory_snapshot.items():
+            accesses = snap.get("accesses", 0)
+            if name == "l2":
+                total_pj += accesses * p.l2_cache_access_pj
+            elif name == "tile":
+                total_pj += accesses * p.tile_cache_access_pj
+            elif name == "dram":
+                continue
+            else:
+                total_pj += accesses * p.l1_cache_access_pj
+        return total_pj

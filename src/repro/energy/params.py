@@ -1,0 +1,53 @@
+"""Per-event energy parameters (32 nm, 1 V class, McPAT-like magnitudes).
+
+All values are in picojoules per event unless noted.  The absolute values
+are representative of published 32 nm SRAM/ALU/DRAM numbers; the harness
+reports energy *normalized* to a baseline computed with the same
+parameters, so only the relative magnitudes shape the results.  The
+dominant terms — DRAM bytes and fragment-shader operations — dominate by
+the same orders of magnitude as in the paper's McPAT model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class EnergyParameters:
+    """Energy per architectural event, in picojoules."""
+
+    # Compute
+    alu_op_pj: float = 25.0                # one shader ALU op (ALU+regfile)
+    rasterizer_attribute_pj: float = 2.0   # one attribute setup
+    early_z_test_pj: float = 1.5           # one depth comparison
+    blend_op_pj: float = 4.0               # one color merge
+
+    # On-chip memories (per access)
+    l1_cache_access_pj: float = 12.0       # vertex/texture caches (4-8 KB)
+    tile_cache_access_pj: float = 30.0     # 128 KB tile cache
+    l2_cache_access_pj: float = 45.0       # 256 KB L2
+    color_depth_buffer_pj: float = 1.2     # 1 KB on-chip buffer access
+    queue_access_pj: float = 1.0
+
+    # EVR / RE structures (small SRAM LUTs)
+    lgt_access_pj: float = 1.0             # 3600 x 3 B
+    fvp_access_pj: float = 1.1             # 3600 x 4 B
+    layer_buffer_access_pj: float = 1.2    # 1 KB, same class as Z-buffer
+    signature_access_pj: float = 1.5       # Signature Buffer read/update
+    crc_combine_pj: float = 2.5            # CRC32 shift+combine logic
+
+    # DRAM
+    dram_pj_per_byte: float = 120.0        # LPDDR3-class ~15 pJ/bit
+    dram_request_pj: float = 600.0         # row/command overhead per request
+
+    # Static (leakage) power, in milliwatts, charged per active cycle
+    gpu_static_mw: float = 60.0
+    evr_structures_static_mw: float = 0.35  # LGT + FVP Table + Layer Buffer
+    re_structures_static_mw: float = 0.5    # Signature Buffer + CRC unit
+
+    def static_joules(self, milliwatts: float, cycles: float,
+                      frequency_mhz: float) -> float:
+        """Leakage energy of a block over ``cycles`` at the given clock."""
+        seconds = cycles / (frequency_mhz * 1e6)
+        return milliwatts * 1e-3 * seconds

@@ -1,0 +1,36 @@
+"""Exception hierarchy for the EVR reproduction library.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still letting programming errors (``TypeError`` and friends) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ConfigError(ReproError):
+    """An invalid or inconsistent :class:`repro.config.GPUConfig`."""
+
+
+class PipelineError(ReproError):
+    """The graphics pipeline was driven in an illegal way.
+
+    Examples: submitting a frame while another frame is mid-render, or
+    rendering a tile before the geometry pipeline has finished binning.
+    """
+
+
+class CommandError(ReproError):
+    """A malformed draw command or command stream."""
+
+
+class SceneError(ReproError):
+    """A scene or benchmark generator was given invalid parameters."""
+
+
+class MemoryModelError(ReproError):
+    """Invalid parameters or illegal access in the memory-system model."""

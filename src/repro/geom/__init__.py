@@ -1,0 +1,31 @@
+"""Geometry data model: vertices, triangles and mesh builders.
+
+Object-space geometry (built by scenes, consumed by the geometry pipeline)
+uses :class:`Vertex`/:class:`Triangle`.  After vertex shading and primitive
+assembly the pipeline works on :class:`ScreenTriangle` objects, which carry
+window-space positions and interpolation-ready attributes.
+"""
+
+from .vertex import VertexAttributes, Vertex
+from .triangle import ScreenTriangle, Triangle
+from .mesh import (
+    Mesh,
+    grid_mesh,
+    box_mesh,
+    quad,
+    screen_quad,
+    sprite_quad,
+)
+
+__all__ = [
+    "VertexAttributes",
+    "Vertex",
+    "Triangle",
+    "ScreenTriangle",
+    "Mesh",
+    "quad",
+    "screen_quad",
+    "sprite_quad",
+    "grid_mesh",
+    "box_mesh",
+]

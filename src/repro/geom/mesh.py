@@ -1,0 +1,167 @@
+"""Mesh builders used by the synthetic scenes.
+
+A :class:`Mesh` is just an ordered list of object-space triangles.  The
+builders here cover everything the benchmark scenes need: textured quads
+(2D sprites, backgrounds, HUD panels), subdivided grids (terrain), and
+boxes (simple 3D props).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+from ..math3d import Vec2, Vec3, Vec4
+from .triangle import Triangle
+from .vertex import Vertex, VertexAttributes
+
+
+@dataclass
+class Mesh:
+    """An ordered collection of triangles sharing a purpose."""
+
+    triangles: List[Triangle] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.triangles)
+
+    def __iter__(self):
+        return iter(self.triangles)
+
+    def extend(self, other: "Mesh") -> "Mesh":
+        self.triangles.extend(other.triangles)
+        return self
+
+    def recolored(self, color: Vec4) -> "Mesh":
+        """A copy of the mesh with every vertex color replaced."""
+        out = Mesh()
+        for tri in self.triangles:
+            out.triangles.append(
+                Triangle(
+                    *(
+                        Vertex(v.position, v.attributes.with_color(color))
+                        for v in tri.vertices
+                    )
+                )
+            )
+        return out
+
+
+def _vertex(x: float, y: float, z: float, color: Vec4, u: float, v: float,
+            normal: Vec3) -> Vertex:
+    return Vertex(Vec3(x, y, z), VertexAttributes(color=color, uv=Vec2(u, v),
+                                                  normal=normal))
+
+
+def quad(
+    corner: Vec3,
+    edge_u: Vec3,
+    edge_v: Vec3,
+    color: Vec4 = Vec4(1.0, 1.0, 1.0, 1.0),
+) -> Mesh:
+    """A parallelogram from ``corner`` spanned by ``edge_u`` x ``edge_v``.
+
+    Triangulated as two counter-clockwise triangles with the normal along
+    ``edge_u x edge_v``.
+    """
+    normal = edge_u.cross(edge_v)
+    length = normal.length()
+    normal = normal.normalized() if length > 0 else Vec3(0.0, 0.0, 1.0)
+    p00 = corner
+    p10 = corner + edge_u
+    p01 = corner + edge_v
+    p11 = corner + edge_u + edge_v
+    v00 = Vertex(p00, VertexAttributes(color, Vec2(0, 0), normal))
+    v10 = Vertex(p10, VertexAttributes(color, Vec2(1, 0), normal))
+    v01 = Vertex(p01, VertexAttributes(color, Vec2(0, 1), normal))
+    v11 = Vertex(p11, VertexAttributes(color, Vec2(1, 1), normal))
+    return Mesh([Triangle(v00, v10, v11), Triangle(v00, v11, v01)])
+
+
+def screen_quad(
+    x: float,
+    y: float,
+    width: float,
+    height: float,
+    z: float = 0.0,
+    color: Vec4 = Vec4(1.0, 1.0, 1.0, 1.0),
+) -> Mesh:
+    """An axis-aligned quad in the z = ``z`` plane, for 2D scenes.
+
+    The 2D benchmarks draw these through an orthographic camera, so x/y
+    are world units that map linearly to the screen.
+    """
+    return quad(Vec3(x, y, z), Vec3(width, 0.0, 0.0), Vec3(0.0, height, 0.0),
+                color)
+
+
+def sprite_quad(
+    center: Vec2,
+    size: Vec2,
+    z: float = 0.0,
+    color: Vec4 = Vec4(1.0, 1.0, 1.0, 1.0),
+) -> Mesh:
+    """A sprite centered at ``center`` — sugar over :func:`screen_quad`."""
+    return screen_quad(
+        center.x - size.x / 2.0,
+        center.y - size.y / 2.0,
+        size.x,
+        size.y,
+        z=z,
+        color=color,
+    )
+
+
+def grid_mesh(
+    corner: Vec3,
+    edge_u: Vec3,
+    edge_v: Vec3,
+    divisions_u: int,
+    divisions_v: int,
+    color: Vec4 = Vec4(1.0, 1.0, 1.0, 1.0),
+) -> Mesh:
+    """A parallelogram subdivided into ``divisions_u x divisions_v`` cells.
+
+    Produces ``2 * divisions_u * divisions_v`` triangles; used for terrain
+    and large backgrounds so that primitives do not all span every tile.
+    """
+    if divisions_u <= 0 or divisions_v <= 0:
+        raise ValueError("grid divisions must be positive")
+    mesh = Mesh()
+    du = edge_u * (1.0 / divisions_u)
+    dv = edge_v * (1.0 / divisions_v)
+    for j in range(divisions_v):
+        for i in range(divisions_u):
+            cell_corner = corner + du * float(i) + dv * float(j)
+            mesh.extend(quad(cell_corner, du, dv, color))
+    return mesh
+
+
+_BOX_FACES: Sequence[Tuple[Vec3, Vec3, Vec3]] = (
+    # (corner, edge_u, edge_v) per face, unit cube centered at origin
+    (Vec3(-0.5, -0.5, 0.5), Vec3(1, 0, 0), Vec3(0, 1, 0)),    # front
+    (Vec3(0.5, -0.5, -0.5), Vec3(-1, 0, 0), Vec3(0, 1, 0)),   # back
+    (Vec3(0.5, -0.5, 0.5), Vec3(0, 0, -1), Vec3(0, 1, 0)),    # right
+    (Vec3(-0.5, -0.5, -0.5), Vec3(0, 0, 1), Vec3(0, 1, 0)),   # left
+    (Vec3(-0.5, 0.5, 0.5), Vec3(1, 0, 0), Vec3(0, 0, -1)),    # top
+    (Vec3(-0.5, -0.5, -0.5), Vec3(1, 0, 0), Vec3(0, 0, 1)),   # bottom
+)
+
+
+def box_mesh(
+    center: Vec3,
+    size: Vec3,
+    color: Vec4 = Vec4(1.0, 1.0, 1.0, 1.0),
+) -> Mesh:
+    """An axis-aligned box (12 triangles) centered at ``center``."""
+    mesh = Mesh()
+    for corner, edge_u, edge_v in _BOX_FACES:
+        scaled_corner = Vec3(
+            center.x + corner.x * size.x,
+            center.y + corner.y * size.y,
+            center.z + corner.z * size.z,
+        )
+        scaled_u = Vec3(edge_u.x * size.x, edge_u.y * size.y, edge_u.z * size.z)
+        scaled_v = Vec3(edge_v.x * size.x, edge_v.y * size.y, edge_v.z * size.z)
+        mesh.extend(quad(scaled_corner, scaled_u, scaled_v, color))
+    return mesh

@@ -1,0 +1,57 @@
+"""Pipeline-balance report: which stage bounds each benchmark.
+
+Runs a benchmark, feeds its steady-state counters to the queue-aware
+balance model (:mod:`repro.timing.queues`), and reports per-stage
+utilization and the bottleneck for both pipelines — the analysis an
+architect would do before sizing queues or adding fragment processors.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..config import GPUConfig
+from ..pipeline import GPU, PipelineMode
+from ..scenes import benchmark_stream
+from ..timing import geometry_balance, raster_balance
+from .experiments import ExperimentResult
+
+
+def pipeline_balance_report(
+    config: Optional[GPUConfig] = None,
+    benchmarks: Sequence[str] = ("cde", "tib", "300"),
+    mode: PipelineMode = PipelineMode.BASELINE,
+) -> ExperimentResult:
+    """Bottleneck analysis across benchmarks under one pipeline mode."""
+    config = config or GPUConfig.default()
+    rows: List[List[object]] = []
+    for alias in benchmarks:
+        stream = benchmark_stream(alias, config)
+        result = GPU(config, mode).render_stream(stream)
+        stats = result.total_stats()
+        for pipeline_name, balance in (
+            ("geometry", geometry_balance(stats, config)),
+            ("raster", raster_balance(stats, config)),
+        ):
+            bottleneck = balance.bottleneck
+            overlap = (
+                balance.pipelined_cycles / balance.additive_cycles
+                if balance.additive_cycles
+                else 0.0
+            )
+            rows.append([
+                alias,
+                pipeline_name,
+                bottleneck.name,
+                bottleneck.busy_cycles,
+                balance.pipelined_cycles,
+                overlap,
+            ])
+    return ExperimentResult(
+        "Analysis",
+        f"Pipeline balance under {mode.value}: bottleneck stage and "
+        "queue-mediated overlap",
+        ["benchmark", "pipeline", "bottleneck", "bottleneck cycles",
+         "pipelined cycles", "pipelined/additive"],
+        rows,
+    )

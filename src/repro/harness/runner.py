@@ -1,0 +1,127 @@
+"""Run benchmarks under pipeline modes and distill metrics.
+
+This is the outer loop of the evaluation: for a (benchmark, mode) pair it
+builds the scene stream, renders it on a fresh GPU instance and extracts
+the scalar metrics every figure consumes.  Runs are memoized per harness
+instance because several figures share the same underlying runs (e.g.
+Figures 6, 7, 10 and 11 all need BASELINE/RE/EVR runs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..config import GPUConfig
+from ..pipeline import GPU, PipelineMode, RunResult
+from ..scenes import benchmark_names, benchmark_stream
+
+
+@dataclass(frozen=True)
+class RunMetrics:
+    """Scalar summary of one (benchmark, mode) run.
+
+    Attributes:
+        benchmark: benchmark alias.
+        mode: pipeline mode value string.
+        geometry_cycles: steady-state Geometry Pipeline cycles.
+        raster_cycles: steady-state Raster Pipeline cycles.
+        energy_joules: total steady-state energy.
+        energy_breakdown: component -> joules.
+        shaded_fragments_per_pixel: Figure 8's metric.
+        redundant_tile_rate: Figure 9's metric.
+        overshading_kills: Early-Z discarded fragments.
+        predicted_occluded_rate: fraction of (primitive, tile) pairs EVR
+            predicted occluded (0 for non-EVR modes).
+    """
+
+    benchmark: str
+    mode: str
+    geometry_cycles: float
+    raster_cycles: float
+    energy_joules: float
+    energy_breakdown: Dict[str, float]
+    shaded_fragments_per_pixel: float
+    redundant_tile_rate: float
+    overshading_kills: int
+    predicted_occluded_rate: float
+
+    @property
+    def total_cycles(self) -> float:
+        return self.geometry_cycles + self.raster_cycles
+
+
+def metrics_from_result(benchmark: str, mode: PipelineMode,
+                        result: RunResult) -> RunMetrics:
+    """Distill a :class:`RunResult` into a :class:`RunMetrics`."""
+    cycles = result.total_cycles()
+    energy = result.total_energy()
+    stats = result.total_stats()
+    return RunMetrics(
+        benchmark=benchmark,
+        mode=mode.value,
+        geometry_cycles=cycles.geometry,
+        raster_cycles=cycles.raster,
+        energy_joules=energy.total,
+        energy_breakdown=energy.as_dict(),
+        shaded_fragments_per_pixel=result.shaded_fragments_per_pixel(),
+        redundant_tile_rate=result.redundant_tile_rate(),
+        overshading_kills=stats.early_z_kills,
+        predicted_occluded_rate=(
+            stats.predicted_occluded / stats.predictions_made
+            if stats.predictions_made
+            else 0.0
+        ),
+    )
+
+
+def run_benchmark(
+    benchmark: str,
+    mode: PipelineMode,
+    config: Optional[GPUConfig] = None,
+    frames: Optional[int] = None,
+) -> RunMetrics:
+    """Render one benchmark under one mode and return its metrics."""
+    config = config or GPUConfig.default()
+    stream = benchmark_stream(benchmark, config, frames)
+    gpu = GPU(config, mode)
+    result = gpu.render_stream(stream)
+    return metrics_from_result(benchmark, mode, result)
+
+
+class SuiteRunner:
+    """Memoizing runner shared by all experiment functions."""
+
+    def __init__(self, config: Optional[GPUConfig] = None,
+                 frames: Optional[int] = None):
+        self.config = config or GPUConfig.default()
+        self.frames = frames
+        self._cache: Dict[Tuple[str, PipelineMode], RunMetrics] = {}
+
+    def run(self, benchmark: str, mode: PipelineMode) -> RunMetrics:
+        key = (benchmark, mode)
+        if key not in self._cache:
+            self._cache[key] = run_benchmark(
+                benchmark, mode, self.config, self.frames
+            )
+        return self._cache[key]
+
+    def run_many(
+        self, benchmarks: Sequence[str], modes: Sequence[PipelineMode]
+    ) -> Dict[Tuple[str, str], RunMetrics]:
+        out: Dict[Tuple[str, str], RunMetrics] = {}
+        for benchmark in benchmarks:
+            for mode in modes:
+                out[(benchmark, mode.value)] = self.run(benchmark, mode)
+        return out
+
+
+def run_suite(
+    modes: Sequence[PipelineMode],
+    config: Optional[GPUConfig] = None,
+    frames: Optional[int] = None,
+    benchmarks: Optional[Sequence[str]] = None,
+) -> Dict[Tuple[str, str], RunMetrics]:
+    """Run (a subset of) the 20-benchmark suite under several modes."""
+    runner = SuiteRunner(config, frames)
+    return runner.run_many(benchmarks or benchmark_names(), modes)

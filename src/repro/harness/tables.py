@@ -1,0 +1,51 @@
+"""Plain-text table rendering for the experiment harness.
+
+Every figure function prints its rows through :func:`format_table`, so the
+bench targets produce output directly comparable with the paper's plots.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Union
+
+Cell = Union[str, int, float]
+
+
+def _render_cell(cell: Cell, precision: int) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.{precision}f}"
+    return str(cell)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Cell]],
+    title: str = "",
+    precision: int = 3,
+) -> str:
+    """Render an aligned ASCII table.
+
+    Args:
+        headers: column names.
+        rows: row cells; floats are formatted to ``precision`` decimals.
+        title: optional title line above the table.
+        precision: decimal places for float cells.
+    """
+    rendered: List[List[str]] = [
+        [_render_cell(cell, precision) for cell in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for column, cell in enumerate(row):
+            widths[column] = max(widths[column], len(cell))
+
+    def _line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(width) for cell, width in zip(cells, widths))
+
+    parts: List[str] = []
+    if title:
+        parts.append(title)
+    parts.append(_line(headers))
+    parts.append("  ".join("-" * width for width in widths))
+    parts.extend(_line(row) for row in rendered)
+    return "\n".join(parts)

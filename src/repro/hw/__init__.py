@@ -1,0 +1,28 @@
+"""Hardware structures of the TBR GPU, baseline and EVR-specific.
+
+Baseline structures (Figure 1): per-tile Z/Color buffers, the Parameter
+Buffer with per-tile Display Lists, and Rendering Elimination's Signature
+Buffer.  EVR additions (Figure 5): the Layer Buffer, the Layer Generator
+Table and the FVP Table.
+"""
+
+from .buffers import ColorBuffer, LayerBuffer, ZBuffer
+from .parameter_buffer import DisplayList, DisplayListEntry, ParameterBuffer
+from .signature_buffer import SignatureBuffer, primitive_signature
+from .lgt import LayerGeneratorTable
+from .fvp_table import FVPEntry, FVPTable, FVPType
+
+__all__ = [
+    "ZBuffer",
+    "ColorBuffer",
+    "LayerBuffer",
+    "ParameterBuffer",
+    "DisplayList",
+    "DisplayListEntry",
+    "SignatureBuffer",
+    "primitive_signature",
+    "LayerGeneratorTable",
+    "FVPTable",
+    "FVPEntry",
+    "FVPType",
+]

@@ -1,0 +1,62 @@
+"""The Layer Generator Table (Section V-A).
+
+A small on-chip LUT with one entry per tile that assigns layer identifiers
+to primitives during binning.  Per entry it remembers the last draw
+command seen, the last layer assigned and the last primitive type, and
+implements the paper's increment rules:
+
+* primitives of the same command reuse the tile's current layer;
+* a new NWOZ command always opens a new layer;
+* a new WOZ command opens a new layer only if the previous primitive in
+  the tile was NWOZ (consecutive WOZ batches share one layer, because
+  their mutual visibility is resolved by the Z-buffer, not by age).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+
+@dataclass
+class _LGTEntry:
+    last_command: Optional[int] = None
+    last_layer: int = 0
+    last_was_woz: Optional[bool] = None
+
+
+class LayerGeneratorTable:
+    """One entry per tile; 3 bytes per entry in Table II."""
+
+    def __init__(self, num_tiles: int):
+        self._entries: List[_LGTEntry] = [_LGTEntry() for _ in range(num_tiles)]
+        self.accesses = 0
+
+    def assign_layer(self, tile: int, command_id: int, is_woz: bool) -> int:
+        """Assign (and record) the layer for a primitive sorted into
+        ``tile`` by draw command ``command_id``.
+
+        Layer numbering starts at 0 per frame; the first command that
+        touches a tile opens layer 1, so the Layer Buffer's clear value
+        (0) is always strictly older than any real geometry.
+        """
+        entry = self._entries[tile]
+        self.accesses += 1
+        if entry.last_command != command_id:
+            same_woz_batch = is_woz and entry.last_was_woz is True
+            if not same_woz_batch:
+                entry.last_layer += 1
+            entry.last_command = command_id
+        entry.last_was_woz = is_woz
+        return entry.last_layer
+
+    def current_layer(self, tile: int) -> int:
+        """The tile's most recently assigned layer (0 if untouched)."""
+        return self._entries[tile].last_layer
+
+    def reset(self) -> None:
+        """Start of frame: all counters back to zero."""
+        for entry in self._entries:
+            entry.last_command = None
+            entry.last_layer = 0
+            entry.last_was_woz = None

@@ -1,0 +1,92 @@
+"""Rendering Elimination's Signature Buffer and CRC32 signatures.
+
+The Signature Buffer holds, per tile, the finalized signature of the
+previous frame and the in-progress signature of the current frame.  A
+tile's signature is the streaming CRC32 of the byte encodings of every
+primitive sorted into it, in sorting order — so any change in attributes,
+order, count or render state changes the signature.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..geom import ScreenTriangle
+
+EMPTY_SIGNATURE = 0
+
+
+def primitive_signature(primitive: ScreenTriangle) -> int:
+    """CRC32 of one primitive's attribute bytes (computed once, at the
+    end of the Geometry Pipeline, as in Figure 2 step 2)."""
+    return zlib.crc32(primitive.signature_bytes)
+
+
+def combine_signature(running: int, primitive_crc: int) -> int:
+    """Fold a primitive's CRC into a tile's running signature.
+
+    The paper shifts the running hash by the primitive size and combines;
+    an order-sensitive equivalent is to CRC the primitive's CRC bytes into
+    the running value.
+    """
+    return zlib.crc32(primitive_crc.to_bytes(4, "little"), running)
+
+
+@dataclass
+class _TileSignatures:
+    previous: Optional[int] = None   # None: no previous frame, or poisoned
+    current: Optional[int] = EMPTY_SIGNATURE  # None: poisoned this frame
+
+
+class SignatureBuffer:
+    """On-chip lookup table with one signature pair per tile."""
+
+    def __init__(self, num_tiles: int):
+        self._entries: List[_TileSignatures] = [
+            _TileSignatures() for _ in range(num_tiles)
+        ]
+        self.updates = 0
+        self.reads = 0
+
+    def update(self, tile: int, primitive_crc: int) -> None:
+        """Fold a primitive's CRC into the tile's current signature
+        (Figure 2 step 2)."""
+        entry = self._entries[tile]
+        if entry.current is not None:
+            entry.current = combine_signature(entry.current, primitive_crc)
+        self.updates += 1
+
+    def poison(self, tile: int) -> None:
+        """Invalidate the tile's current signature.
+
+        Called by the raster pipeline when a *predicted-occluded*
+        primitive turned out to contribute to the tile's final image
+        (a visibility misprediction).  The signature then no longer
+        describes the visible content, so the next frame must not be
+        allowed to match against it.  This repair is required for
+        pixel-exact correctness — see DESIGN.md ("Correctness repair").
+        """
+        self._entries[tile].current = None
+
+    def matches_previous(self, tile: int) -> bool:
+        """Compare the current and previous frame signatures (step 3).
+
+        Returns False on the first frame (no previous signature) and for
+        tiles whose previous-frame signature was poisoned, so no tile is
+        ever skipped without evidence.
+        """
+        entry = self._entries[tile]
+        self.reads += 1
+        return entry.previous is not None and entry.previous == entry.current
+
+    def current_signature(self, tile: int) -> Optional[int]:
+        """The tile's in-progress signature (None when poisoned)."""
+        return self._entries[tile].current
+
+    def rotate_frame(self) -> None:
+        """End of frame: current signatures become the previous ones."""
+        for entry in self._entries:
+            entry.previous = entry.current
+            entry.current = EMPTY_SIGNATURE

@@ -1,0 +1,43 @@
+"""Minimal image export: write rendered frames as PPM/PGM files.
+
+The simulator's framebuffers are float RGBA numpy arrays; PPM is the
+simplest portable way to inspect them without adding dependencies.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Union
+
+import numpy as np
+
+
+def to_rgb8(image: np.ndarray) -> np.ndarray:
+    """Convert a float RGBA (H, W, 4) framebuffer to uint8 RGB (H, W, 3)."""
+    if image.ndim != 3 or image.shape[2] < 3:
+        raise ValueError(f"expected (H, W, >=3) image, got {image.shape}")
+    rgb = np.clip(image[:, :, :3], 0.0, 1.0)
+    return (rgb * 255.0 + 0.5).astype(np.uint8)
+
+
+def write_ppm(path: Union[str, "os.PathLike[str]"], image: np.ndarray) -> None:
+    """Write a framebuffer to a binary PPM (P6) file.
+
+    Args:
+        path: output file path.
+        image: float RGBA (H, W, 4) or uint8 RGB (H, W, 3) array.
+    """
+    if image.dtype != np.uint8:
+        image = to_rgb8(image)
+    height, width = image.shape[:2]
+    header = f"P6\n{width} {height}\n255\n".encode("ascii")
+    with open(path, "wb") as handle:
+        handle.write(header)
+        handle.write(image[:, :, :3].tobytes())
+
+
+def frame_difference(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Absolute per-pixel difference, for visual regression debugging."""
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    return np.abs(a - b)

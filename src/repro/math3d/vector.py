@@ -1,0 +1,166 @@
+"""Immutable 2/3/4-component float vectors.
+
+The vectors are plain frozen dataclasses rather than numpy arrays because
+individual vertices flow through the pipeline as Python objects; bulk
+per-fragment math is done with numpy inside the rasterizer instead.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+
+@dataclass(frozen=True)
+class Vec2:
+    """A 2D vector (screen-space positions, texture coordinates)."""
+
+    x: float = 0.0
+    y: float = 0.0
+
+    def __add__(self, other: "Vec2") -> "Vec2":
+        return Vec2(self.x + other.x, self.y + other.y)
+
+    def __sub__(self, other: "Vec2") -> "Vec2":
+        return Vec2(self.x - other.x, self.y - other.y)
+
+    def __mul__(self, s: float) -> "Vec2":
+        return Vec2(self.x * s, self.y * s)
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "Vec2":
+        return Vec2(-self.x, -self.y)
+
+    def __iter__(self) -> Iterator[float]:
+        yield self.x
+        yield self.y
+
+    def dot(self, other: "Vec2") -> float:
+        return self.x * other.x + self.y * other.y
+
+    def cross(self, other: "Vec2") -> float:
+        """The z-component of the 3D cross product (signed area x2)."""
+        return self.x * other.y - self.y * other.x
+
+    def length(self) -> float:
+        return math.sqrt(self.dot(self))
+
+    def as_tuple(self) -> Tuple[float, float]:
+        return (self.x, self.y)
+
+
+@dataclass(frozen=True)
+class Vec3:
+    """A 3D vector (object/world-space positions, normals, RGB colors)."""
+
+    x: float = 0.0
+    y: float = 0.0
+    z: float = 0.0
+
+    def __add__(self, other: "Vec3") -> "Vec3":
+        return Vec3(self.x + other.x, self.y + other.y, self.z + other.z)
+
+    def __sub__(self, other: "Vec3") -> "Vec3":
+        return Vec3(self.x - other.x, self.y - other.y, self.z - other.z)
+
+    def __mul__(self, s: float) -> "Vec3":
+        return Vec3(self.x * s, self.y * s, self.z * s)
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "Vec3":
+        return Vec3(-self.x, -self.y, -self.z)
+
+    def __iter__(self) -> Iterator[float]:
+        yield self.x
+        yield self.y
+        yield self.z
+
+    def dot(self, other: "Vec3") -> float:
+        return self.x * other.x + self.y * other.y + self.z * other.z
+
+    def cross(self, other: "Vec3") -> "Vec3":
+        return Vec3(
+            self.y * other.z - self.z * other.y,
+            self.z * other.x - self.x * other.z,
+            self.x * other.y - self.y * other.x,
+        )
+
+    def length(self) -> float:
+        return math.sqrt(self.dot(self))
+
+    def normalized(self) -> "Vec3":
+        """Return a unit-length copy.
+
+        Raises:
+            ZeroDivisionError: for the zero vector.
+        """
+        length = self.length()
+        return Vec3(self.x / length, self.y / length, self.z / length)
+
+    def as_tuple(self) -> Tuple[float, float, float]:
+        return (self.x, self.y, self.z)
+
+    def to_vec4(self, w: float = 1.0) -> "Vec4":
+        return Vec4(self.x, self.y, self.z, w)
+
+
+@dataclass(frozen=True)
+class Vec4:
+    """A homogeneous 4D vector (clip-space positions, RGBA colors)."""
+
+    x: float = 0.0
+    y: float = 0.0
+    z: float = 0.0
+    w: float = 1.0
+
+    def __add__(self, other: "Vec4") -> "Vec4":
+        return Vec4(
+            self.x + other.x,
+            self.y + other.y,
+            self.z + other.z,
+            self.w + other.w,
+        )
+
+    def __sub__(self, other: "Vec4") -> "Vec4":
+        return Vec4(
+            self.x - other.x,
+            self.y - other.y,
+            self.z - other.z,
+            self.w - other.w,
+        )
+
+    def __mul__(self, s: float) -> "Vec4":
+        return Vec4(self.x * s, self.y * s, self.z * s, self.w * s)
+
+    __rmul__ = __mul__
+
+    def __iter__(self) -> Iterator[float]:
+        yield self.x
+        yield self.y
+        yield self.z
+        yield self.w
+
+    def dot(self, other: "Vec4") -> float:
+        return (
+            self.x * other.x
+            + self.y * other.y
+            + self.z * other.z
+            + self.w * other.w
+        )
+
+    def perspective_divide(self) -> Vec3:
+        """Clip space -> normalized device coordinates.
+
+        Raises:
+            ZeroDivisionError: when ``w`` is zero (degenerate vertex).
+        """
+        return Vec3(self.x / self.w, self.y / self.w, self.z / self.w)
+
+    def xyz(self) -> Vec3:
+        return Vec3(self.x, self.y, self.z)
+
+    def as_tuple(self) -> Tuple[float, float, float, float]:
+        return (self.x, self.y, self.z, self.w)

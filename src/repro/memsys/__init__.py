@@ -1,0 +1,14 @@
+"""Memory-system model: set-associative caches and a DRAM channel model.
+
+The functional pipeline produces memory *events* (vertex fetches, texture
+samples, parameter-buffer traffic, framebuffer flushes); this package turns
+them into hit/miss counts and DRAM traffic, which the timing and energy
+models convert into cycles and joules.  It plays the role DRAMSim2 and the
+cache models play inside the paper's Teapot simulator.
+"""
+
+from .cache import AccessResult, Cache
+from .dram import DRAMChannelModel
+from .hierarchy import MemorySystem
+
+__all__ = ["Cache", "AccessResult", "DRAMChannelModel", "MemorySystem"]

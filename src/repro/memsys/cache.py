@@ -1,0 +1,147 @@
+"""A set-associative, write-back, write-allocate cache with LRU replacement.
+
+The model is trace-driven and byte-addressed: :meth:`Cache.access` splits a
+request into the cache lines it touches and walks each line through the
+usual hit / miss / writeback state machine.  No data is stored — only tags
+and dirty bits — because the functional pipeline keeps the actual values.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..config import CacheConfig
+from ..errors import MemoryModelError
+
+
+@dataclass
+class AccessResult:
+    """Outcome of one cache access, possibly spanning several lines."""
+
+    hits: int = 0
+    misses: int = 0
+    writebacks: int = 0
+
+    @property
+    def lines(self) -> int:
+        return self.hits + self.misses
+
+    def merge(self, other: "AccessResult") -> "AccessResult":
+        self.hits += other.hits
+        self.misses += other.misses
+        self.writebacks += other.writebacks
+        return self
+
+
+class _CacheSet:
+    """One associativity set; insertion order of the dict is LRU order."""
+
+    __slots__ = ("lines", "ways")
+
+    def __init__(self, ways: int):
+        self.ways = ways
+        # tag -> dirty flag; first item is least recently used
+        self.lines: "OrderedDict[int, bool]" = OrderedDict()
+
+    def access(self, tag: int, write: bool) -> AccessResult:
+        result = AccessResult()
+        if tag in self.lines:
+            result.hits = 1
+            dirty = self.lines.pop(tag) or write
+            self.lines[tag] = dirty
+            return result
+        result.misses = 1
+        if len(self.lines) >= self.ways:
+            _, victim_dirty = self.lines.popitem(last=False)
+            if victim_dirty:
+                result.writebacks = 1
+        self.lines[tag] = write
+        return result
+
+    def flush(self) -> int:
+        """Evict everything; return the number of dirty lines written back."""
+        dirty = sum(1 for is_dirty in self.lines.values() if is_dirty)
+        self.lines.clear()
+        return dirty
+
+
+class Cache:
+    """A single cache level.
+
+    Counters (`accesses`, `hits`, `misses`, `writebacks`) accumulate over
+    the cache's lifetime and feed the timing/energy models; call
+    :meth:`reset_stats` at frame boundaries when per-frame numbers are
+    needed.
+    """
+
+    def __init__(self, config: CacheConfig):
+        self.config = config
+        self._sets: List[_CacheSet] = [
+            _CacheSet(config.associativity) for _ in range(config.num_sets)
+        ]
+        self.accesses = 0
+        self.line_accesses = 0
+        self.hits = 0
+        self.misses = 0
+        self.writebacks = 0
+
+    @property
+    def name(self) -> str:
+        return self.config.name
+
+    def access(self, address: int, size: int, write: bool = False) -> AccessResult:
+        """Access ``size`` bytes starting at ``address``.
+
+        Returns per-line hit/miss/writeback counts.  A request that spans
+        line boundaries touches multiple lines, as in hardware.
+        """
+        if size <= 0:
+            raise MemoryModelError(f"cache {self.name}: access size {size} <= 0")
+        if address < 0:
+            raise MemoryModelError(f"cache {self.name}: negative address")
+        line = self.config.line_bytes
+        first = address // line
+        last = (address + size - 1) // line
+        result = AccessResult()
+        for line_index in range(first, last + 1):
+            set_index = line_index % self.config.num_sets
+            tag = line_index // self.config.num_sets
+            result.merge(self._sets[set_index].access(tag, write))
+        self.accesses += 1
+        self.line_accesses += result.lines
+        self.hits += result.hits
+        self.misses += result.misses
+        self.writebacks += result.writebacks
+        return result
+
+    def flush(self) -> int:
+        """Write back and invalidate everything (e.g. at frame boundaries).
+
+        Returns the number of dirty lines written back; the caller is
+        responsible for forwarding that traffic to the next level.
+        """
+        dirty_lines = sum(cache_set.flush() for cache_set in self._sets)
+        self.writebacks += dirty_lines
+        return dirty_lines
+
+    def reset_stats(self) -> None:
+        self.accesses = 0
+        self.line_accesses = 0
+        self.hits = 0
+        self.misses = 0
+        self.writebacks = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def snapshot(self) -> Dict[str, int]:
+        return {
+            "accesses": self.accesses,
+            "hits": self.hits,
+            "misses": self.misses,
+            "writebacks": self.writebacks,
+        }

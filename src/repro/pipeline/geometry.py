@@ -1,0 +1,305 @@
+"""The Geometry Pipeline: vertex processing, assembly and binning.
+
+Stages (Figure 1): vertices are fetched from memory and shaded (model-
+view-projection transform), grouped into triangles, culled/clipped in
+Primitive Assembly, and finally sorted into tiles by the Polygon List
+Builder, which fills the Parameter Buffer and per-tile Display Lists.
+
+All EVR hooks live in the Polygon List Builder (Figure 5): layer
+assignment via the Layer Generator Table, visibility prediction via the
+FVP Table, Algorithm-1 reordering into the two-part Display Lists, and
+the (possibly filtered) Rendering Elimination signature updates.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Optional
+
+from ..commands import DrawCommand, Frame
+from ..config import GPUConfig
+from ..core.evr import VisibilityPredictor
+from ..core.rendering_elimination import RenderingElimination
+from ..core.reorder import place_in_display_list
+from ..geom import ScreenTriangle, Triangle
+from ..hw.lgt import LayerGeneratorTable
+from ..hw.parameter_buffer import (
+    LAYER_ID_BYTES,
+    POINTER_BYTES,
+    DisplayListEntry,
+    ParameterBuffer,
+)
+from ..math3d import Mat4, Vec2, viewport
+from ..memsys import MemorySystem
+from ..timing import FrameStats
+from .features import PipelineFeatures
+
+_VERTEX_BYTES = 48
+_W_EPSILON = 1e-6
+
+# Display-list pointers live in their own Parameter Buffer region so the
+# pointer stream and the attribute stream do not alias in the tile cache.
+_POINTER_REGION_OFFSET = 32 * 1024 * 1024
+
+
+class GeometryPipeline:
+    """Runs the geometry half of the pipeline for one frame at a time."""
+
+    def __init__(
+        self,
+        config: GPUConfig,
+        features: PipelineFeatures,
+        memory: MemorySystem,
+        parameter_buffer: ParameterBuffer,
+        lgt: Optional[LayerGeneratorTable],
+        predictor: Optional[VisibilityPredictor],
+        rendering_elimination: Optional[RenderingElimination],
+    ):
+        self.config = config
+        self.features = features
+        self.memory = memory
+        self.parameter_buffer = parameter_buffer
+        self.lgt = lgt
+        self.predictor = predictor
+        self.re = rendering_elimination
+        self._viewport = viewport(config.screen_width, config.screen_height)
+        self._pointer_cursor = 0
+        self._vertex_base = 0
+
+    # -- vertex processing and assembly ------------------------------------
+
+    def process_frame(self, frame: Frame, stats: FrameStats) -> None:
+        """Run the full Geometry Pipeline for ``frame``."""
+        self._pointer_cursor = 0
+        self._vertex_base = 0
+        for command_id, command in enumerate(frame.commands):
+            stats.commands_processed += 1
+            triangles = self._shade_and_assemble(frame, command_id, command, stats)
+            for triangle in triangles:
+                self._bin_primitive(triangle, command, stats)
+
+    def _shade_and_assemble(
+        self,
+        frame: Frame,
+        command_id: int,
+        command: DrawCommand,
+        stats: FrameStats,
+    ) -> List[ScreenTriangle]:
+        """Vertex fetch + shade + primitive assembly for one command."""
+        projection = command.projection or frame.projection
+        view = command.view or frame.view
+        mvp = projection @ view @ command.model
+        state = command.state
+        survivors: List[ScreenTriangle] = []
+        command_vertex_base = self._vertex_base
+        self._vertex_base += command.vertex_count
+
+        # A software Z-prepass (Section IV-A) resubmits the opaque
+        # geometry with a depth-only shader: the vertex fetch, transform
+        # and assembly work is paid twice for WOZ commands.
+        prepass = self.features.z_prepass and state.writes_z
+        depth_only_instructions = max(4, state.shader.vertex_instructions // 2)
+
+        for tri_index, triangle in enumerate(command.iter_triangles()):
+            stats.primitives_in += 1
+            for vertex_offset in range(3):
+                self.memory.fetch_vertex(
+                    command_vertex_base + 3 * tri_index + vertex_offset,
+                    _VERTEX_BYTES,
+                )
+            stats.vertices_fetched += 3
+            stats.vertex_instructions += 3 * state.shader.vertex_instructions
+            if prepass:
+                stats.primitives_in += 1
+                stats.vertices_fetched += 3
+                stats.vertex_instructions += 3 * depth_only_instructions
+
+            screen = self._transform_triangle(mvp, triangle, command_id,
+                                              len(survivors), state)
+            if screen is None or self._should_cull(screen, state):
+                stats.primitives_culled += 1
+                continue
+            survivors.append(screen)
+
+        stats.primitives_binned += len(survivors)
+        return survivors
+
+    def _transform_triangle(
+        self,
+        mvp: Mat4,
+        triangle: Triangle,
+        command_id: int,
+        primitive_id: int,
+        state,
+    ) -> Optional[ScreenTriangle]:
+        """Clip-test and transform one triangle to window coordinates.
+
+        Near-plane clipping is not implemented: triangles crossing the
+        camera plane are dropped entirely (the scene generators keep
+        geometry safely inside the frustum).
+        """
+        clip = [mvp @ v.position.to_vec4(1.0) for v in triangle.vertices]
+        if any(c.w <= _W_EPSILON for c in clip):
+            return None
+        # Frustum rejection: all vertices outside the same clip plane.
+        for axis in ("x", "y", "z"):
+            if all(getattr(c, axis) < -c.w for c in clip):
+                return None
+            if all(getattr(c, axis) > c.w for c in clip):
+                return None
+
+        window = [
+            self._viewport @ c.perspective_divide().to_vec4(1.0)
+            for c in clip
+        ]
+        xy = tuple(Vec2(w.x, w.y) for w in window)
+        z = tuple(min(max(w.z, 0.0), 1.0) for w in window)
+        attributes = tuple(v.attributes for v in triangle.vertices)
+
+        signature_bytes = self._signature_bytes(xy, z, attributes, state)
+        return ScreenTriangle(
+            xy=xy,  # type: ignore[arg-type]
+            z=z,  # type: ignore[arg-type]
+            attributes=attributes,  # type: ignore[arg-type]
+            command_id=command_id,
+            primitive_id=primitive_id,
+            state=state,
+            signature_bytes=signature_bytes,
+        )
+
+    @staticmethod
+    def _signature_bytes(xy, z, attributes, state) -> bytes:
+        """Post-transform encoding fed to the RE CRC.
+
+        The signature must change whenever anything that can affect the
+        tile's colors changes: window-space positions (so moving objects
+        are caught even when their object-space mesh is static), vertex
+        attributes, and the render state / shader identity.
+        """
+        parts = [state.pack()]
+        for position, depth, attrs in zip(xy, z, attributes):
+            parts.append(struct.pack("<3f", position.x, position.y, depth))
+            parts.append(attrs.pack())
+        return b"".join(parts)
+
+    @staticmethod
+    def _should_cull(screen: ScreenTriangle, state) -> bool:
+        """Back-face and degeneracy culling in Primitive Assembly.
+
+        Window coordinates are y-down, so a front-facing (counter-
+        clockwise in NDC) triangle has *negative* signed area here.
+        Back-face culling applies only when the command enables it;
+        zero-area triangles are always dropped.
+        """
+        area = screen.signed_area()
+        if area == 0.0:
+            return True
+        if state.cull_backface and area > 0.0:
+            return True
+        return False
+
+    def _prediction_depth(self, triangle: ScreenTriangle) -> float:
+        """The primitive depth compared against ``Z_far`` (Section III-A).
+
+        The paper uses the closest vertex (``Z_near``), the conservative
+        choice; the ``prediction_point`` feature selects the centroid or
+        farthest vertex for the conservatism ablation.
+        """
+        point = self.features.prediction_point
+        if point == "near":
+            return triangle.z_near
+        if point == "centroid":
+            return triangle.z_centroid
+        return triangle.z_far
+
+    # -- Polygon List Builder (binning + EVR hooks) -------------------------
+
+    def _bin_primitive(
+        self, triangle: ScreenTriangle, command: DrawCommand, stats: FrameStats
+    ) -> None:
+        """Sort one assembled primitive into all tiles it overlaps."""
+        config = self.config
+        features = self.features
+        state = command.state
+
+        offset = self.parameter_buffer.store_primitive(triangle)
+        attribute_bytes = self.parameter_buffer.attribute_bytes_per_primitive
+        self.memory.parameter_buffer_write(offset, attribute_bytes)
+        stats.parameter_buffer_bytes += attribute_bytes
+
+        crc = (
+            RenderingElimination.primitive_crc(triangle)
+            if self.re is not None
+            else 0
+        )
+
+        prepass = features.z_prepass and triangle.writes_z
+        if prepass:
+            # The depth-only pass stores its own (position-only) records.
+            prepass_offset = self.parameter_buffer.store_primitive(triangle)
+            self.memory.parameter_buffer_write(prepass_offset, 48)
+            stats.parameter_buffer_bytes += 48
+
+        tiles = triangle.overlapped_tiles(
+            config.tile_width, config.tile_height, config.tiles_x, config.tiles_y
+        )
+        for tile_x, tile_y in tiles:
+            tile = tile_y * config.tiles_x + tile_x
+            stats.primitive_tile_pairs += 1
+            if prepass:
+                stats.primitive_tile_pairs += 1
+                stats.display_list_writes += 1
+
+            layer = 0
+            if features.uses_layers:
+                assert self.lgt is not None
+                layer = self.lgt.assign_layer(
+                    tile, triangle.command_id, triangle.writes_z
+                )
+                stats.lgt_accesses += 1
+                stats.layer_id_bytes += LAYER_ID_BYTES
+                stats.parameter_buffer_bytes += LAYER_ID_BYTES
+
+            predicted_occluded = False
+            if features.evr_hardware:
+                assert self.predictor is not None
+                predicted_occluded = self.predictor.predict(
+                    tile, triangle.writes_z,
+                    self._prediction_depth(triangle), layer,
+                    bbox=triangle.bounding_box(),
+                )
+                stats.fvp_lookups += 1
+                stats.predictions_made += 1
+                if predicted_occluded:
+                    stats.predicted_occluded += 1
+
+            entry = DisplayListEntry(
+                primitive=triangle,
+                offset=offset,
+                layer=layer,
+                predicted_occluded=predicted_occluded,
+                pointer_offset=_POINTER_REGION_OFFSET + self._pointer_cursor,
+            )
+            display_list = self.parameter_buffer.display_list(tile)
+            place_in_display_list(
+                display_list,
+                entry,
+                writes_z=triangle.writes_z,
+                predicted_occluded=predicted_occluded,
+                reorder_enabled=features.evr_reorder,
+            )
+            pointer_bytes = POINTER_BYTES + (
+                LAYER_ID_BYTES if features.uses_layers else 0
+            )
+            self.memory.parameter_buffer_write(
+                _POINTER_REGION_OFFSET + self._pointer_cursor, pointer_bytes
+            )
+            self._pointer_cursor += pointer_bytes
+            stats.display_list_writes += 1
+
+            if self.re is not None:
+                updated = self.re.on_primitive_binned(tile, crc, predicted_occluded)
+                if updated:
+                    stats.signature_updates += 1
+                else:
+                    stats.signature_skips += 1

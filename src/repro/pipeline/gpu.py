@@ -1,0 +1,274 @@
+"""The simulated GPU: frame loop, feature wiring and result collection.
+
+A :class:`GPU` owns one memory system, one Parameter Buffer and — when the
+corresponding features are on — the Rendering Elimination controller and
+the EVR structures.  :meth:`GPU.render_stream` consumes a
+:class:`repro.commands.FrameStream` and returns a :class:`RunResult` with
+per-frame statistics, memory snapshots and the rendered images.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from ..commands import Frame, FrameStream
+from ..config import GPUConfig
+from ..core.evr import VisibilityPredictor
+from ..core.oracle import OracleTileComparator
+from ..core.subtile import SubTileVisibilityPredictor
+from ..core.rendering_elimination import RenderingElimination
+from ..errors import PipelineError
+from ..hw.lgt import LayerGeneratorTable
+from ..hw.parameter_buffer import ParameterBuffer
+from ..memsys import MemorySystem
+from ..timing import CostModel, CostParameters, FrameStats, StatsAccumulator
+from ..energy import EnergyBreakdown, EnergyModel, EnergyParameters
+from .features import PipelineFeatures, PipelineMode
+from .geometry import GeometryPipeline
+from .raster import RasterPipeline
+
+
+@dataclass
+class FrameResult:
+    """Everything measured while rendering one frame."""
+
+    index: int
+    stats: FrameStats
+    image: np.ndarray
+    geometry_snapshot: Dict[str, Dict[str, int]]
+    raster_snapshot: Dict[str, Dict[str, int]]
+    geometry_dram_cycles: float
+    raster_dram_cycles: float
+
+    def merged_snapshot(self) -> Dict[str, Dict[str, int]]:
+        """Geometry + raster memory counters combined (for energy)."""
+        merged: Dict[str, Dict[str, int]] = {}
+        for snapshot in (self.geometry_snapshot, self.raster_snapshot):
+            for unit, counters in snapshot.items():
+                unit_totals = merged.setdefault(unit, {})
+                for key, value in counters.items():
+                    unit_totals[key] = unit_totals.get(key, 0) + value
+        return merged
+
+
+@dataclass
+class RunResult:
+    """All frames of a run plus the models needed to cost them."""
+
+    config: GPUConfig
+    features: PipelineFeatures
+    frames: List[FrameResult] = field(default_factory=list)
+    comparator: Optional[OracleTileComparator] = None
+    predictor: Optional[VisibilityPredictor] = None
+    re_controller: Optional[RenderingElimination] = None
+    cost_model: Optional[CostModel] = None
+    energy_model: Optional[EnergyModel] = None
+
+    DEFAULT_WARMUP = 2
+
+    def _steady_frames(self, warmup: int) -> List[FrameResult]:
+        """Frames past the warm-up transient.
+
+        Frame 0 has no previous-frame information (RE and EVR behave as
+        the baseline) and frame 1 is EVR's prediction transient: its
+        signatures were built *with* exclusions while frame 0's were
+        built without, so they cannot match yet.  The paper's 60-frame
+        measurements amortize this; with short runs we drop the warm-up
+        explicitly.  If the run is shorter than the warm-up, all frames
+        are used.
+        """
+        if warmup and len(self.frames) > warmup:
+            return self.frames[warmup:]
+        return self.frames
+
+    def total_stats(self, warmup: int = DEFAULT_WARMUP) -> FrameStats:
+        """Aggregate counters over steady-state frames."""
+        accumulator = StatsAccumulator()
+        for frame_result in self._steady_frames(warmup):
+            accumulator.add(frame_result.stats)
+        return accumulator.total()
+
+    def total_cycles(self, warmup: int = DEFAULT_WARMUP) -> "CycleTotals":
+        """Geometry/Raster cycle totals over steady-state frames."""
+        assert self.cost_model is not None
+        geometry = 0.0
+        raster = 0.0
+        for frame_result in self._steady_frames(warmup):
+            geometry += self.cost_model.geometry_cycles(
+                frame_result.stats, frame_result.geometry_dram_cycles
+            )
+            raster += self.cost_model.raster_cycles(
+                frame_result.stats, frame_result.raster_dram_cycles
+            )
+        return CycleTotals(geometry=geometry, raster=raster)
+
+    def total_energy(self, warmup: int = DEFAULT_WARMUP) -> EnergyBreakdown:
+        """Energy breakdown over steady-state frames."""
+        assert self.energy_model is not None
+        stats = self.total_stats(warmup)
+        merged: Dict[str, Dict[str, int]] = {}
+        for frame_result in self._steady_frames(warmup):
+            for unit, counters in frame_result.merged_snapshot().items():
+                unit_totals = merged.setdefault(unit, {})
+                for key, value in counters.items():
+                    unit_totals[key] = unit_totals.get(key, 0) + value
+        cycles = self.total_cycles(warmup)
+        return self.energy_model.compute(
+            stats,
+            merged,
+            cycles.total,
+            evr_enabled=self.features.evr_hardware,
+            re_enabled=self.features.rendering_elimination,
+        )
+
+    # -- headline metrics ----------------------------------------------------
+
+    def shaded_fragments_per_pixel(self, warmup: int = DEFAULT_WARMUP) -> float:
+        """Figure 8's metric: average shaded fragments per screen pixel,
+        over rendered frames (RE-skipped tiles contribute zero, exactly
+        as skipping intends)."""
+        frames = self._steady_frames(warmup)
+        stats = self.total_stats(warmup)
+        pixels = self.config.num_pixels * len(frames)
+        return stats.fragments_shaded / pixels if pixels else 0.0
+
+    def redundant_tile_rate(self, warmup: int = DEFAULT_WARMUP) -> float:
+        """Figure 9's metric: fraction of tiles skipped (RE/EVR modes) or
+        measured equal (oracle comparator)."""
+        stats = self.total_stats(warmup)
+        if self.features.rendering_elimination:
+            return stats.tiles_skipped / stats.tiles_total if stats.tiles_total else 0.0
+        if self.comparator is not None:
+            return self.comparator.equal_rate
+        return 0.0
+
+
+@dataclass(frozen=True)
+class CycleTotals:
+    geometry: float
+    raster: float
+
+    @property
+    def total(self) -> float:
+        return self.geometry + self.raster
+
+
+class GPU:
+    """A tile-based-rendering GPU with selectable EVR/RE features."""
+
+    def __init__(
+        self,
+        config: GPUConfig,
+        features: Union[PipelineFeatures, PipelineMode] = PipelineMode.BASELINE,
+        cost_params: CostParameters = CostParameters(),
+        energy_params: EnergyParameters = EnergyParameters(),
+    ):
+        if isinstance(features, PipelineMode):
+            features = features.features()
+        self.config = config
+        self.features = features
+        self.memory = MemorySystem(config)
+        self.parameter_buffer = ParameterBuffer(config.num_tiles)
+        self.lgt = LayerGeneratorTable(config.num_tiles) if features.uses_layers else None
+        if not features.evr_hardware:
+            self.predictor = None
+        elif features.subtile_fvp:
+            self.predictor = SubTileVisibilityPredictor(
+                config.num_tiles, config.tile_width, config.tile_height,
+                config.tiles_x,
+            )
+        else:
+            self.predictor = VisibilityPredictor(
+                config.num_tiles, history=features.fvp_history
+            )
+        self.re = (
+            RenderingElimination(
+                config.num_tiles,
+                filter_occluded=features.evr_signature_filter,
+            )
+            if features.rendering_elimination
+            else None
+        )
+        self.comparator = (
+            OracleTileComparator() if features.oracle_redundancy else None
+        )
+        self.cost_model = CostModel(config, cost_params)
+        self.energy_model = EnergyModel(config, energy_params)
+
+        self.geometry = GeometryPipeline(
+            config, features, self.memory, self.parameter_buffer,
+            self.lgt, self.predictor, self.re,
+        )
+        self.raster = RasterPipeline(
+            config, features, self.memory, self.parameter_buffer,
+            self.predictor, self.re, self.comparator,
+        )
+        self._previous_image: Optional[np.ndarray] = None
+        self._rendering = False
+
+    def render_stream(self, stream: FrameStream) -> RunResult:
+        """Render every frame of ``stream`` and collect results."""
+        result = RunResult(
+            config=self.config,
+            features=self.features,
+            comparator=self.comparator,
+            predictor=self.predictor,
+            re_controller=self.re,
+            cost_model=self.cost_model,
+            energy_model=self.energy_model,
+        )
+        for frame in stream:
+            result.frames.append(self.render_frame(frame))
+        return result
+
+    def render_frame(self, frame: Frame) -> FrameResult:
+        """Render a single frame through both pipelines."""
+        if self._rendering:
+            raise PipelineError("render_frame called re-entrantly")
+        self._rendering = True
+        try:
+            return self._render_frame(frame)
+        finally:
+            self._rendering = False
+
+    def _render_frame(self, frame: Frame) -> FrameResult:
+        config = self.config
+        stats = FrameStats()
+        self.parameter_buffer.reset()
+        if self.lgt is not None:
+            self.lgt.reset()
+
+        # -- Geometry Pipeline --
+        self.memory.reset_stats()
+        self.geometry.process_frame(frame, stats)
+        geometry_snapshot = self.memory.snapshot()
+        geometry_dram_cycles = self.memory.dram.cycles()
+
+        # -- Raster Pipeline --
+        self.memory.reset_stats()
+        image = np.zeros((config.screen_height, config.screen_width, 4))
+        image[:, :] = np.array(config.clear_color)
+        self.raster.render_frame(image, self._previous_image, stats)
+        self.memory.end_frame()
+        raster_snapshot = self.memory.snapshot()
+        raster_dram_cycles = self.memory.dram.cycles()
+
+        # -- end of frame --
+        if self.re is not None:
+            self.re.end_frame()
+        if self.comparator is not None:
+            self.comparator.end_frame()
+        self._previous_image = image
+
+        return FrameResult(
+            index=frame.index,
+            stats=stats,
+            image=image,
+            geometry_snapshot=geometry_snapshot,
+            raster_snapshot=raster_snapshot,
+            geometry_dram_cycles=geometry_dram_cycles,
+            raster_dram_cycles=raster_dram_cycles,
+        )

@@ -1,0 +1,50 @@
+"""Synthetic animated scenes standing in for the paper's 20 Android apps.
+
+The paper drives its simulator with GLES traces of commercial games; those
+traces are unavailable, so this package generates deterministic animated
+scenes whose *structure* matches each benchmark's type (Table III): pure
+2D painter's-algorithm sprite stacks, or hybrid 3D scenes with depth-
+tested geometry, background layers, HUD overlays and translucent effects.
+
+Every generator is a pure function of the frame index (given a seed), so
+streams replay identically — the property Rendering Elimination and EVR
+exploit, and the property the tests rely on.
+"""
+
+from .motion import (
+    CircularMotion,
+    JitterMotion,
+    LinearOscillation,
+    Motion,
+    StaticMotion,
+)
+from .keyframe import KeyframePath
+from .scene import HUDSpec, Layer2D, Scene2D, SpriteSpec
+from .scene3d import BoxSpec, Scene3D
+from .benchmarks import (
+    BENCHMARKS,
+    BenchmarkInfo,
+    benchmark_info,
+    benchmark_names,
+    benchmark_stream,
+)
+
+__all__ = [
+    "Motion",
+    "StaticMotion",
+    "LinearOscillation",
+    "CircularMotion",
+    "JitterMotion",
+    "KeyframePath",
+    "SpriteSpec",
+    "Layer2D",
+    "HUDSpec",
+    "Scene2D",
+    "BoxSpec",
+    "Scene3D",
+    "BENCHMARKS",
+    "BenchmarkInfo",
+    "benchmark_names",
+    "benchmark_info",
+    "benchmark_stream",
+]

@@ -1,0 +1,586 @@
+"""The 20-benchmark suite of Table III, as synthetic scene generators.
+
+Each benchmark is a deterministic generator whose *structure* mirrors the
+corresponding Android application's workload class:
+
+* **2D** benchmarks are painter's-algorithm sprite stacks (pure NWOZ):
+  a static background, gameplay layers with a genre-appropriate fraction
+  of animated sprites, optional translucent effect layers, optional HUD
+  panels, and — for the benchmarks where the paper reports large
+  EVR-over-RE gains (*hay*, *wmw*) — **hidden motion**: sprites that move
+  every frame underneath a static opaque cover, which defeats baseline RE
+  but not EVR-aided RE.
+
+* **3D** benchmarks are hybrid scenes (WOZ + NWOZ): backdrop, ground,
+  boxes submitted back-to-front (the overshading worst case EVR's
+  reordering attacks), translucent effects and a HUD.  Fast-action titles
+  (*300*, *mst*) orbit the camera, which defeats RE everywhere except
+  under the HUD — the exact behaviour Figure 9 reports for them.
+
+All layout randomness comes from ``random.Random(seed)`` with a fixed
+per-benchmark seed, and all animation is a pure function of the frame
+index, so streams replay bit-exactly.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+from ..commands import BlendMode, FrameStream, ShaderProfile
+from ..config import GPUConfig
+from ..errors import SceneError
+from ..math3d import Vec2, Vec3, Vec4
+from .motion import CircularMotion, JitterMotion, LinearOscillation, StaticMotion
+from .scene import HUDSpec, Layer2D, Scene2D, SpriteSpec
+from .scene3d import BoxSpec, Scene3D, TranslucentSpec
+
+SceneBuilder = Callable[[GPUConfig], Union[Scene2D, Scene3D]]
+
+
+@dataclass(frozen=True)
+class BenchmarkInfo:
+    """One row of Table III plus its scene generator."""
+
+    alias: str
+    title: str
+    genre: str
+    scene_type: str  # "2D" or "3D"
+    description: str
+    builder: SceneBuilder
+
+
+# ---------------------------------------------------------------------------
+# 2D scene recipe
+# ---------------------------------------------------------------------------
+
+def _random_color(rng: random.Random, alpha: float = 1.0) -> Vec4:
+    return Vec4(
+        0.2 + 0.8 * rng.random(),
+        0.2 + 0.8 * rng.random(),
+        0.2 + 0.8 * rng.random(),
+        alpha,
+    )
+
+
+def _sprite_scene(
+    config: GPUConfig,
+    seed: int,
+    layers: int,
+    sprites_per_layer: int,
+    animated_fraction: float,
+    sprite_scale: float = 0.12,
+    motion_scale: float = 0.10,
+    alpha_effects: int = 0,
+    hud_coverage: float = 0.0,
+    hidden_motion_sprites: int = 0,
+    jitter: bool = False,
+    fragment_instructions: int = 10,
+) -> Scene2D:
+    """Build a parameterized 2D layered scene.
+
+    Args:
+        config: supplies the screen dimensions.
+        seed: layout seed (fixed per benchmark).
+        layers: gameplay layers above the background.
+        sprites_per_layer: sprites in each gameplay layer.
+        animated_fraction: fraction of sprites that move every frame.
+        sprite_scale: sprite size as a fraction of the screen diagonal.
+        motion_scale: motion amplitude as a fraction of screen width.
+        alpha_effects: number of translucent sprites in a top effects
+            layer (0: no effects layer).
+        hud_coverage: fraction of screen height covered by static opaque
+            HUD bands (split top/bottom).
+        hidden_motion_sprites: moving sprites placed inside the bottom
+            HUD band *under* the opaque cover — invisible motion that
+            only EVR-aided RE can ignore.  Requires ``hud_coverage > 0``.
+        jitter: use per-frame jitter instead of smooth oscillation.
+        fragment_instructions: shader cost of the gameplay layers.
+    """
+    if hidden_motion_sprites and hud_coverage <= 0.0:
+        raise SceneError("hidden motion requires a HUD cover")
+    rng = random.Random(seed)
+    width = float(config.screen_width)
+    height = float(config.screen_height)
+    sprite_size = sprite_scale * (width + height) / 2.0
+    amplitude = motion_scale * width
+
+    scene_layers: List[Layer2D] = [
+        Layer2D(
+            name="background",
+            sprites=[
+                SpriteSpec(
+                    center=Vec2(width / 2.0, height / 2.0),
+                    size=Vec2(width, height),
+                    color=Vec4(0.25, 0.3, 0.38, 1.0),
+                    texture_id=5,
+                )
+            ],
+            shader=ShaderProfile(fragment_instructions=4, texture_fetches=1,
+                                 texture_id=5),
+        )
+    ]
+
+    hud_band = hud_coverage * height / 2.0
+    playfield_top = hud_band
+    playfield_bottom = height - hud_band
+
+    for layer_index in range(layers):
+        sprites: List[SpriteSpec] = []
+        for sprite_index in range(sprites_per_layer):
+            center = Vec2(
+                rng.uniform(0.05 * width, 0.95 * width),
+                rng.uniform(playfield_top + 2, playfield_bottom - 2),
+            )
+            size = Vec2(
+                sprite_size * rng.uniform(0.6, 1.4),
+                sprite_size * rng.uniform(0.6, 1.4),
+            )
+            animated = rng.random() < animated_fraction
+            if not animated:
+                motion = StaticMotion()
+            elif jitter:
+                motion = JitterMotion(amplitude * 0.3,
+                                      seed=seed * 977 + sprite_index)
+            elif sprite_index % 2:
+                motion = LinearOscillation(
+                    Vec3(amplitude, 0.0, 0.0),
+                    period_frames=24 + 8 * (sprite_index % 3),
+                    phase=rng.uniform(0, 6.28),
+                )
+            else:
+                motion = CircularMotion(
+                    amplitude * 0.5,
+                    period_frames=32 + 8 * (sprite_index % 4),
+                    phase=rng.uniform(0, 6.28),
+                )
+            sprites.append(
+                SpriteSpec(center=center, size=size,
+                           color=_random_color(rng),
+                           motion=motion,
+                           texture_id=layer_index % 4)
+            )
+        scene_layers.append(
+            Layer2D(
+                name=f"layer{layer_index}",
+                sprites=sprites,
+                shader=ShaderProfile(
+                    vertex_instructions=24,
+                    fragment_instructions=fragment_instructions,
+                    texture_fetches=1,
+                    texture_id=layer_index % 4,
+                ),
+            )
+        )
+
+    if hidden_motion_sprites:
+        # Moving sprites confined to the bottom HUD band; the opaque HUD
+        # drawn later fully covers them.
+        hidden: List[SpriteSpec] = []
+        band_top = height - hud_band
+        for sprite_index in range(hidden_motion_sprites):
+            hidden.append(
+                SpriteSpec(
+                    center=Vec2(
+                        rng.uniform(0.1 * width, 0.9 * width),
+                        band_top + hud_band / 2.0,
+                    ),
+                    size=Vec2(sprite_size * 0.8, hud_band * 0.6),
+                    color=_random_color(rng),
+                    motion=LinearOscillation(
+                        Vec3(amplitude, 0.0, 0.0),
+                        period_frames=16 + 4 * sprite_index,
+                        phase=rng.uniform(0, 6.28),
+                    ),
+                )
+            )
+        scene_layers.append(Layer2D(name="hidden-motion", sprites=hidden))
+
+    if alpha_effects:
+        effects: List[SpriteSpec] = []
+        for sprite_index in range(alpha_effects):
+            effects.append(
+                SpriteSpec(
+                    center=Vec2(
+                        rng.uniform(0.1 * width, 0.9 * width),
+                        rng.uniform(playfield_top, playfield_bottom),
+                    ),
+                    size=Vec2(sprite_size, sprite_size),
+                    color=_random_color(rng, alpha=0.5),
+                    motion=CircularMotion(
+                        amplitude * 0.4,
+                        period_frames=20 + 6 * sprite_index,
+                        phase=rng.uniform(0, 6.28),
+                    ),
+                )
+            )
+        scene_layers.append(
+            Layer2D(name="effects", sprites=effects, blend=BlendMode.ALPHA,
+                    shader=ShaderProfile(fragment_instructions=6,
+                                         texture_fetches=1, texture_id=3))
+        )
+
+    hud = None
+    if hud_coverage > 0.0:
+        hud = HUDSpec(
+            panels=(
+                (0.0, 0.0, width, hud_band),
+                (0.0, height - hud_band, width, hud_band),
+            )
+        )
+
+    return Scene2D(config.screen_width, config.screen_height, scene_layers,
+                   hud=hud)
+
+
+# ---------------------------------------------------------------------------
+# 3D scene recipe
+# ---------------------------------------------------------------------------
+
+def _world_scene(
+    config: GPUConfig,
+    seed: int,
+    num_boxes: int,
+    moving_fraction: float,
+    orbit_period: float = 0.0,
+    hud_coverage: float = 0.2,
+    translucent_count: int = 2,
+    draw_order: str = "back_to_front",
+    spread: float = 9.0,
+    fragment_instructions: int = 18,
+    hidden_movers: int = 0,
+) -> Scene3D:
+    """Build a parameterized hybrid 3D scene.
+
+    Args:
+        config: supplies the screen dimensions.
+        seed: layout seed.
+        num_boxes: WOZ props scattered over the ground.
+        moving_fraction: fraction of boxes that oscillate every frame.
+        orbit_period: camera orbit period in frames (0 = static camera).
+        hud_coverage: fraction of screen height covered by HUD bands.
+        translucent_count: blended effect quads.
+        draw_order: WOZ submission order (see :class:`Scene3D`).
+        spread: half-extent of the box field in world units.
+        fragment_instructions: world-geometry shader cost.
+        hidden_movers: boxes oscillating *behind* a large static wall
+            facing the (static) camera.  Their motion changes their
+            binned attributes every frame — defeating baseline RE for the
+            wall's tiles — while the WOZ FVP (``Z_far`` = wall depth)
+            lets EVR exclude them and keep skipping those tiles.  Only
+            meaningful with a static camera.
+    """
+    rng = random.Random(seed)
+    boxes: List[BoxSpec] = []
+    if hidden_movers:
+        # The occluder: a tall wall between the default camera (at
+        # +z, looking at the origin) and the movers tucked behind it.
+        boxes.append(
+            BoxSpec(center=Vec3(3.5, 2.2, 6.0), size=Vec3(8.0, 4.4, 0.8),
+                    color=Vec4(0.55, 0.5, 0.45, 1.0), name="wall")
+        )
+        for mover_index in range(hidden_movers):
+            boxes.append(
+                BoxSpec(
+                    center=Vec3(3.5 + 1.1 * (mover_index % 3 - 1), 1.0,
+                                2.8 - 0.7 * (mover_index // 3)),
+                    size=Vec3(1.0, 1.2, 1.0),
+                    color=_random_color(rng),
+                    motion=LinearOscillation(
+                        Vec3(0.9, 0.0, 0.4),
+                        period_frames=14 + 3 * mover_index,
+                        phase=rng.uniform(0, 6.28),
+                    ),
+                    name=f"hidden{mover_index}",
+                )
+            )
+    for box_index in range(num_boxes):
+        center = Vec3(
+            rng.uniform(-spread, spread),
+            rng.uniform(1.0, 2.6),
+            rng.uniform(-spread, spread),
+        )
+        size = Vec3(
+            rng.uniform(2.0, 4.5),
+            rng.uniform(2.0, 5.5),
+            rng.uniform(2.0, 4.5),
+        )
+        if rng.random() < moving_fraction:
+            motion = LinearOscillation(
+                Vec3(rng.uniform(1.0, 3.0), 0.0, rng.uniform(-2.0, 2.0)),
+                period_frames=20 + 4 * (box_index % 5),
+                phase=rng.uniform(0, 6.28),
+            )
+        else:
+            motion = StaticMotion()
+        boxes.append(
+            BoxSpec(center=center, size=size, color=_random_color(rng),
+                    motion=motion, name=f"box{box_index}")
+        )
+
+    translucents = [
+        TranslucentSpec(
+            center=Vec3(rng.uniform(-spread, spread), 2.5,
+                        rng.uniform(-spread, spread)),
+            size=rng.uniform(2.0, 4.0),
+            color=_random_color(rng, alpha=0.45),
+            motion=CircularMotion(1.5, period_frames=28 + 6 * effect_index),
+        )
+        for effect_index in range(translucent_count)
+    ]
+
+    hud = None
+    if hud_coverage > 0.0:
+        width = float(config.screen_width)
+        height = float(config.screen_height)
+        band = hud_coverage * height / 2.0
+        hud = HUDSpec(
+            panels=(
+                (0.0, 0.0, width, band),
+                (0.0, height - band, width, band),
+            )
+        )
+
+    return Scene3D(
+        config.screen_width,
+        config.screen_height,
+        boxes=boxes,
+        translucents=translucents,
+        hud=hud,
+        camera_eye=Vec3(0.0, 5.0, 13.0),
+        camera_orbit_period=orbit_period,
+        draw_order=draw_order,
+        world_shader=ShaderProfile(
+            vertex_instructions=48,
+            fragment_instructions=fragment_instructions,
+            texture_fetches=2,
+            texture_id=1,
+        ),
+    )
+
+
+# ---------------------------------------------------------------------------
+# The suite (Table III)
+# ---------------------------------------------------------------------------
+
+def _suite() -> Dict[str, BenchmarkInfo]:
+    entries: List[BenchmarkInfo] = [
+        # -- 3D -------------------------------------------------------------
+        BenchmarkInfo(
+            "300", "300: Seize your glory", "Action", "3D",
+            "Fast action: orbiting camera, dense moving melee, HUD. "
+            "RE finds almost nothing; EVR recovers HUD-covered tiles and "
+            "cuts overshading via reordering.",
+            lambda cfg: _world_scene(cfg, seed=300, num_boxes=14,
+                                     moving_fraction=0.5, orbit_period=90.0,
+                                     hud_coverage=0.25,
+                                     fragment_instructions=24),
+        ),
+        BenchmarkInfo(
+            "ata", "Air Attack", "Arcade", "3D",
+            "Scrolling shooter: static camera, many moving props, thin HUD.",
+            lambda cfg: _world_scene(cfg, seed=101, num_boxes=12,
+                                     moving_fraction=0.6, orbit_period=0.0,
+                                     hud_coverage=0.15, hidden_movers=3),
+        ),
+        BenchmarkInfo(
+            "csn", "Crazy Snowboard", "Arcade", "3D",
+            "Downhill arcade: static chase camera, sparse moving props.",
+            lambda cfg: _world_scene(cfg, seed=102, num_boxes=10,
+                                     moving_fraction=0.4, orbit_period=0.0,
+                                     hud_coverage=0.18, translucent_count=3,
+                                     hidden_movers=2),
+        ),
+        BenchmarkInfo(
+            "mst", "Modern Strike", "First Person Shooter", "3D",
+            "FPS: orbiting camera, dense occluding geometry, large HUD.",
+            lambda cfg: _world_scene(cfg, seed=103, num_boxes=18,
+                                     moving_fraction=0.35, orbit_period=70.0,
+                                     hud_coverage=0.3,
+                                     fragment_instructions=26),
+        ),
+        BenchmarkInfo(
+            "ter", "Temple Run", "Platform", "3D",
+            "Endless runner: static camera (world moves), corridor props.",
+            lambda cfg: _world_scene(cfg, seed=104, num_boxes=12,
+                                     moving_fraction=0.7, orbit_period=0.0,
+                                     hud_coverage=0.12, spread=7.0,
+                                     hidden_movers=3),
+        ),
+        BenchmarkInfo(
+            "tib", "Tigerball", "Physics Puzzle", "3D",
+            "Physics puzzle: static camera, one moving ball among static "
+            "props - high tile redundancy for a 3D title.",
+            lambda cfg: _world_scene(cfg, seed=105, num_boxes=9,
+                                     moving_fraction=0.15, orbit_period=0.0,
+                                     hud_coverage=0.2, translucent_count=1,
+                                     hidden_movers=2),
+        ),
+        # -- 2D -------------------------------------------------------------
+        BenchmarkInfo(
+            "abi", "Angry Birds", "Puzzle", "2D",
+            "Slingshot physics: static backdrop, moving projectiles.",
+            lambda cfg: _sprite_scene(cfg, seed=201, layers=3,
+                                      sprites_per_layer=8,
+                                      animated_fraction=0.45,
+                                      alpha_effects=2),
+        ),
+        BenchmarkInfo(
+            "arm", "Armymen", "Strategy", "2D",
+            "Strategy board: many small units, moderate motion, HUD.",
+            lambda cfg: _sprite_scene(cfg, seed=202, layers=3,
+                                      sprites_per_layer=10,
+                                      animated_fraction=0.4,
+                                      sprite_scale=0.09,
+                                      hud_coverage=0.15),
+        ),
+        BenchmarkInfo(
+            "ale", "Avenger Legends", "Strategy", "2D",
+            "Battle scenes: large animated characters, effect overlays.",
+            lambda cfg: _sprite_scene(cfg, seed=203, layers=3,
+                                      sprites_per_layer=6,
+                                      animated_fraction=0.55,
+                                      sprite_scale=0.16,
+                                      alpha_effects=3),
+        ),
+        BenchmarkInfo(
+            "ccs", "Candy Crush Saga", "Puzzle", "2D",
+            "Match-3 board: almost entirely static, few swapping candies.",
+            lambda cfg: _sprite_scene(cfg, seed=204, layers=3,
+                                      sprites_per_layer=12,
+                                      animated_fraction=0.08,
+                                      sprite_scale=0.08,
+                                      motion_scale=0.04),
+        ),
+        BenchmarkInfo(
+            "cde", "Castle Defense", "Tower Defense", "2D",
+            "Tower defense: static map and towers, a couple of creeps - "
+            "the suite's most redundant workload.",
+            lambda cfg: _sprite_scene(cfg, seed=205, layers=3,
+                                      sprites_per_layer=9,
+                                      animated_fraction=0.06,
+                                      motion_scale=0.05,
+                                      hud_coverage=0.22,
+                                      hidden_motion_sprites=2),
+        ),
+        BenchmarkInfo(
+            "coc", "Clash of Clans", "MMO Strategy", "2D",
+            "Village view: static buildings, some ambient animation, HUD.",
+            lambda cfg: _sprite_scene(cfg, seed=206, layers=4,
+                                      sprites_per_layer=8,
+                                      animated_fraction=0.35,
+                                      sprite_scale=0.1,
+                                      hud_coverage=0.18),
+        ),
+        BenchmarkInfo(
+            "ctr", "Cut the Rope", "Puzzle", "2D",
+            "Physics puzzle: swinging candy over a static scene.",
+            lambda cfg: _sprite_scene(cfg, seed=207, layers=3,
+                                      sprites_per_layer=7,
+                                      animated_fraction=0.4,
+                                      alpha_effects=2),
+        ),
+        BenchmarkInfo(
+            "dpe", "Dude Perfect", "Puzzle", "2D",
+            "Trickshot puzzle: a single moving ball over static sets - "
+            "near-total redundancy.",
+            lambda cfg: _sprite_scene(cfg, seed=208, layers=3,
+                                      sprites_per_layer=8,
+                                      animated_fraction=0.05,
+                                      motion_scale=0.06),
+        ),
+        BenchmarkInfo(
+            "hay", "Hayday", "Simulation", "2D",
+            "Farm simulation: static farm plus animated critters under an "
+            "opaque toolbar - hidden motion where EVR-aided RE shines.",
+            lambda cfg: _sprite_scene(cfg, seed=209, layers=3,
+                                      sprites_per_layer=9,
+                                      animated_fraction=0.12,
+                                      hud_coverage=0.3,
+                                      hidden_motion_sprites=6),
+        ),
+        BenchmarkInfo(
+            "hop", "Hopeless", "Action Survival", "2D",
+            "Dark cave: very few large primitives concentrated in few "
+            "tiles - the workload where RE signature overhead is hardest "
+            "to amortize.",
+            lambda cfg: _sprite_scene(cfg, seed=210, layers=2,
+                                      sprites_per_layer=3,
+                                      animated_fraction=0.5,
+                                      sprite_scale=0.3,
+                                      jitter=True),
+        ),
+        BenchmarkInfo(
+            "mto", "Magic Touch", "Arcade", "2D",
+            "Slow-falling balloons over a static backdrop: high "
+            "redundancy with a thin animated band.",
+            lambda cfg: _sprite_scene(cfg, seed=211, layers=2,
+                                      sprites_per_layer=7,
+                                      animated_fraction=0.12,
+                                      motion_scale=0.05,
+                                      hud_coverage=0.22,
+                                      hidden_motion_sprites=2),
+        ),
+        BenchmarkInfo(
+            "red", "Redsun", "Strategy", "2D",
+            "Wargame map: dense static units, marching columns, HUD.",
+            lambda cfg: _sprite_scene(cfg, seed=212, layers=4,
+                                      sprites_per_layer=9,
+                                      animated_fraction=0.35,
+                                      sprite_scale=0.09,
+                                      hud_coverage=0.15),
+        ),
+        BenchmarkInfo(
+            "wmw", "Where's my water", "Puzzle", "2D",
+            "Digging puzzle: static dirt field with water animation under "
+            "a fixed opaque frame - the other hidden-motion benchmark.",
+            lambda cfg: _sprite_scene(cfg, seed=213, layers=3,
+                                      sprites_per_layer=8,
+                                      animated_fraction=0.1,
+                                      hud_coverage=0.26,
+                                      hidden_motion_sprites=5),
+        ),
+        BenchmarkInfo(
+            "wog", "World of goo", "Physics Puzzle", "2D",
+            "Goo structures: wobbling blobs over static backdrop, "
+            "translucent goo effects.",
+            lambda cfg: _sprite_scene(cfg, seed=214, layers=3,
+                                      sprites_per_layer=7,
+                                      animated_fraction=0.5,
+                                      alpha_effects=3,
+                                      jitter=True),
+        ),
+    ]
+    return {entry.alias: entry for entry in entries}
+
+
+BENCHMARKS: Dict[str, BenchmarkInfo] = _suite()
+
+
+def benchmark_names(scene_type: Optional[str] = None) -> Tuple[str, ...]:
+    """Aliases of all benchmarks, optionally filtered by "2D"/"3D"."""
+    return tuple(
+        alias
+        for alias, info in BENCHMARKS.items()
+        if scene_type is None or info.scene_type == scene_type
+    )
+
+
+def benchmark_info(alias: str) -> BenchmarkInfo:
+    """Look up one benchmark by its Table III alias."""
+    try:
+        return BENCHMARKS[alias]
+    except KeyError:
+        raise SceneError(
+            f"unknown benchmark {alias!r}; known: {sorted(BENCHMARKS)}"
+        ) from None
+
+
+def benchmark_stream(
+    alias: str, config: GPUConfig, frames: Optional[int] = None
+) -> FrameStream:
+    """Build the frame stream for one benchmark under ``config``."""
+    info = benchmark_info(alias)
+    scene = info.builder(config)
+    return scene.stream(frames if frames is not None else config.frames)

@@ -1,0 +1,92 @@
+"""Keyframed animation: waypoint paths for objects and cameras.
+
+The built-in motions (:mod:`.motion`) are periodic primitives; real
+game content follows authored paths.  A :class:`KeyframePath` interpolates
+a sequence of (frame, position) waypoints — linearly or with smoothstep
+easing — and exposes both the :class:`Motion` protocol (for sprites and
+boxes) and direct sampling (for cameras).
+
+Like every motion in this package, a path is a pure function of the
+frame index, so scenes using it remain bit-exactly replayable.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from ..errors import SceneError
+from ..math3d import Vec3
+
+Keyframe = Tuple[float, Vec3]
+
+
+def _smoothstep(t: float) -> float:
+    return t * t * (3.0 - 2.0 * t)
+
+
+@dataclass(frozen=True)
+class KeyframePath:
+    """A piecewise path through (frame, position) waypoints.
+
+    Attributes:
+        keyframes: waypoints sorted by frame time; at least two.
+        easing: ``"linear"`` or ``"smooth"`` (smoothstep per segment).
+        loop: wrap the frame index by the path's duration, so the last
+            waypoint flows back into the first.
+    """
+
+    keyframes: Tuple[Keyframe, ...]
+    easing: str = "linear"
+    loop: bool = False
+
+    def __post_init__(self) -> None:
+        if len(self.keyframes) < 2:
+            raise SceneError("a keyframe path needs at least two waypoints")
+        times = [time for time, _ in self.keyframes]
+        if times != sorted(times) or len(set(times)) != len(times):
+            raise SceneError("keyframe times must be strictly increasing")
+        if self.easing not in ("linear", "smooth"):
+            raise SceneError(f"unknown easing {self.easing!r}")
+
+    @classmethod
+    def through(cls, positions: Sequence[Vec3], frames_per_segment: float,
+                easing: str = "linear", loop: bool = False) -> "KeyframePath":
+        """Evenly-timed path through ``positions``."""
+        keyframes = tuple(
+            (index * frames_per_segment, position)
+            for index, position in enumerate(positions)
+        )
+        return cls(keyframes, easing=easing, loop=loop)
+
+    @property
+    def duration(self) -> float:
+        return self.keyframes[-1][0] - self.keyframes[0][0]
+
+    def position(self, frame: float) -> Vec3:
+        """Sample the path at ``frame`` (clamped, or wrapped if looping)."""
+        start_time = self.keyframes[0][0]
+        end_time = self.keyframes[-1][0]
+        time = float(frame)
+        if self.loop and self.duration > 0:
+            time = start_time + (time - start_time) % self.duration
+        if time <= start_time:
+            return self.keyframes[0][1]
+        if time >= end_time:
+            return self.keyframes[-1][1]
+        times = [keyframe_time for keyframe_time, _ in self.keyframes]
+        segment = bisect_right(times, time) - 1
+        t0, p0 = self.keyframes[segment]
+        t1, p1 = self.keyframes[segment + 1]
+        t = (time - t0) / (t1 - t0)
+        if self.easing == "smooth":
+            t = _smoothstep(t)
+        return p0 + (p1 - p0) * t
+
+    # -- Motion protocol ------------------------------------------------------
+
+    def offset(self, frame: int) -> Vec3:
+        """Displacement relative to the path's first waypoint, so a
+        keyframed object's spec position is its starting point."""
+        return self.position(frame) - self.keyframes[0][1]

@@ -1,0 +1,83 @@
+"""Deterministic motion models for animated scene objects.
+
+A :class:`Motion` maps a frame index to a 3D offset.  All motions are pure
+functions of the index (no hidden state), so replaying a frame stream is
+bit-exact — the temporal-coherence property the whole paper rests on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Protocol
+
+from ..math3d import Vec3
+
+
+class Motion(Protocol):
+    """Anything that can offset an object over time."""
+
+    def offset(self, frame: int) -> Vec3:
+        """World-space displacement at ``frame``."""
+        ...  # pragma: no cover - protocol
+
+
+@dataclass(frozen=True)
+class StaticMotion:
+    """No movement — static background/HUD geometry."""
+
+    def offset(self, frame: int) -> Vec3:
+        return Vec3(0.0, 0.0, 0.0)
+
+
+@dataclass(frozen=True)
+class LinearOscillation:
+    """Sinusoidal sweep along a direction.
+
+    Attributes:
+        direction: displacement at peak amplitude.
+        period_frames: frames per full oscillation.
+        phase: phase offset in radians (decorrelates objects).
+    """
+
+    direction: Vec3
+    period_frames: float = 32.0
+    phase: float = 0.0
+
+    def offset(self, frame: int) -> Vec3:
+        angle = 2.0 * math.pi * frame / self.period_frames + self.phase
+        return self.direction * math.sin(angle)
+
+
+@dataclass(frozen=True)
+class CircularMotion:
+    """Orbit in the XY plane (used by 2D effects and 3D props)."""
+
+    radius: float
+    period_frames: float = 48.0
+    phase: float = 0.0
+
+    def offset(self, frame: int) -> Vec3:
+        angle = 2.0 * math.pi * frame / self.period_frames + self.phase
+        return Vec3(self.radius * math.cos(angle), self.radius * math.sin(angle), 0.0)
+
+
+@dataclass(frozen=True)
+class JitterMotion:
+    """Pseudo-random per-frame displacement (deterministic in the frame).
+
+    Models particle-like noise: positions decorrelate every frame, so any
+    tile the object touches is never frame-to-frame redundant.
+    """
+
+    amplitude: float
+    seed: int = 0
+
+    def offset(self, frame: int) -> Vec3:
+        # Two cheap deterministic hashes of (seed, frame).
+        def _hash(salt: int) -> float:
+            value = (self.seed * 1_000_003 + frame * 31_337 + salt) & 0xFFFFFFFF
+            value = (value ^ (value >> 13)) * 0x5BD1E995 & 0xFFFFFFFF
+            return ((value >> 8) & 0xFFFF) / 65535.0 * 2.0 - 1.0
+
+        return Vec3(_hash(1) * self.amplitude, _hash(2) * self.amplitude, 0.0)

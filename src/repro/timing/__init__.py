@@ -1,0 +1,22 @@
+"""Timing model: event counters and the cycle cost model.
+
+The functional pipeline increments :class:`FrameStats` counters; the
+:class:`CostModel` converts them (together with the memory system's DRAM
+traffic) into Geometry-pipeline and Raster-pipeline cycle counts, the two
+components the paper's Figures 7 and 11 report.
+"""
+
+from .stats import FrameStats, StatsAccumulator
+from .costs import CostModel, CostParameters
+from .queues import PipelineBalance, StageLoad, geometry_balance, raster_balance
+
+__all__ = [
+    "FrameStats",
+    "StatsAccumulator",
+    "CostModel",
+    "CostParameters",
+    "StageLoad",
+    "PipelineBalance",
+    "geometry_balance",
+    "raster_balance",
+]

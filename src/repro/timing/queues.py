@@ -1,0 +1,183 @@
+"""Pipeline-balance analysis: stage utilization and queue occupancy.
+
+Table II lists the inter-stage queues of the Mali-450-class pipeline
+(two 16-entry vertex queues, 16-entry triangle and tile queues, a
+64-entry fragment queue).  The cycle cost model in :mod:`.costs` sums
+stage occupancies — a good first-order model for a deeply-pipelined GPU
+— but it cannot say *which* stage bounds a workload or how well the
+queues decouple producers from consumers.  This module adds that
+analysis:
+
+* each stage's **busy cycles** are computed from the same event counters
+  the cost model uses;
+* the stage with the most busy cycles is the **bottleneck**; in steady
+  state the pipeline's throughput-limited time equals the bottleneck's
+  busy time;
+* non-bottleneck stages expose a *residual* of their work when the
+  queue decoupling them from the bottleneck is shallow — modeled as
+  ``busy / (1 + queue_entries)``, the classic smoothing bound (an
+  N-entry queue absorbs N items of rate mismatch before stalling the
+  producer).
+
+The resulting :class:`PipelineBalance` reports utilizations and a
+pipelined cycle estimate, used by the ``pipeline-balance`` analysis in
+the harness and compared against the additive model in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..config import GPUConfig
+from .costs import CostParameters
+from .stats import FrameStats
+
+
+@dataclass(frozen=True)
+class StageLoad:
+    """One pipeline stage's demanded work.
+
+    Attributes:
+        name: stage name (matches Figure 1's boxes).
+        items: units of work processed (vertices, triangles, quads...).
+        busy_cycles: cycles the stage is busy at its Table II throughput.
+        upstream_queue_entries: depth of the queue feeding this stage
+            (None for the first stage).
+    """
+
+    name: str
+    items: int
+    busy_cycles: float
+    upstream_queue_entries: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class PipelineBalance:
+    """Balance analysis of one pipeline for one frame or run."""
+
+    stages: List[StageLoad]
+
+    @property
+    def bottleneck(self) -> StageLoad:
+        return max(self.stages, key=lambda stage: stage.busy_cycles)
+
+    @property
+    def additive_cycles(self) -> float:
+        """The no-overlap upper bound (what a scalar core would take)."""
+        return sum(stage.busy_cycles for stage in self.stages)
+
+    @property
+    def pipelined_cycles(self) -> float:
+        """Steady-state estimate with queue-mediated overlap.
+
+        The bottleneck runs continuously; every other stage exposes the
+        fraction of its work its upstream queue cannot absorb.
+        """
+        bottleneck = self.bottleneck
+        total = bottleneck.busy_cycles
+        for stage in self.stages:
+            if stage is bottleneck:
+                continue
+            depth = stage.upstream_queue_entries
+            exposure = 1.0 / (1.0 + depth) if depth else 1.0
+            total += stage.busy_cycles * exposure
+        return total
+
+    def utilization(self) -> Dict[str, float]:
+        """Per-stage busy time relative to the bottleneck's."""
+        reference = max(self.bottleneck.busy_cycles, 1e-12)
+        return {
+            stage.name: stage.busy_cycles / reference
+            for stage in self.stages
+        }
+
+
+def geometry_balance(
+    stats: FrameStats,
+    config: GPUConfig,
+    params: CostParameters = CostParameters(),
+) -> PipelineBalance:
+    """Stage loads of the Geometry Pipeline (Figure 1, top row)."""
+    vertex_queue = config.queue("vertex0").entries + config.queue(
+        "vertex1"
+    ).entries
+    triangle_queue = config.queue("triangle").entries
+    stages = [
+        StageLoad(
+            "command-processor",
+            stats.commands_processed,
+            stats.commands_processed * params.command_processor_cycles,
+        ),
+        StageLoad(
+            "vertex-processor",
+            stats.vertices_fetched,
+            stats.vertex_instructions / config.vertex_processors,
+            upstream_queue_entries=vertex_queue,
+        ),
+        StageLoad(
+            "primitive-assembly",
+            stats.primitives_in,
+            stats.primitives_in / config.triangles_per_cycle,
+            upstream_queue_entries=triangle_queue,
+        ),
+        StageLoad(
+            "polygon-list-builder",
+            stats.primitive_tile_pairs,
+            stats.primitive_tile_pairs * params.bin_test_cycles
+            + stats.display_list_writes * params.display_list_write_cycles
+            + stats.parameter_buffer_bytes
+            / params.parameter_buffer_bytes_per_cycle
+            + stats.signature_updates * params.signature_update_cycles
+            + stats.lgt_accesses * params.lgt_access_cycles
+            + stats.fvp_lookups * params.fvp_lookup_cycles,
+            upstream_queue_entries=triangle_queue,
+        ),
+    ]
+    return PipelineBalance(stages)
+
+
+def raster_balance(
+    stats: FrameStats,
+    config: GPUConfig,
+    params: CostParameters = CostParameters(),
+) -> PipelineBalance:
+    """Stage loads of the Raster Pipeline (Figure 1, bottom row)."""
+    tile_queue = config.queue("tile").entries
+    fragment_queue = config.queue("fragment").entries
+    stages = [
+        StageLoad(
+            "tile-scheduler",
+            stats.tiles_rendered,
+            stats.tiles_rendered * params.tile_schedule_cycles
+            + stats.signature_checks * params.signature_check_cycles
+            + stats.display_list_reads * params.display_list_read_cycles,
+        ),
+        StageLoad(
+            "rasterizer",
+            stats.primitives_rasterized,
+            stats.raster_attributes / config.raster_attributes_per_cycle,
+            upstream_queue_entries=tile_queue,
+        ),
+        StageLoad(
+            "early-z",
+            stats.early_z_tests,
+            stats.early_z_tests / params.early_z_pixels_per_cycle,
+            upstream_queue_entries=fragment_queue,
+        ),
+        StageLoad(
+            "fragment-processors",
+            stats.fragments_shaded,
+            (stats.fragment_instructions + stats.texture_samples)
+            / config.fragment_processors,
+            upstream_queue_entries=fragment_queue,
+        ),
+        StageLoad(
+            "blend",
+            stats.blend_operations,
+            stats.blend_operations / params.blend_pixels_per_cycle
+            + stats.fvp_updates * params.fvp_update_cycles,
+            upstream_queue_entries=fragment_queue,
+        ),
+    ]
+    return PipelineBalance(stages)

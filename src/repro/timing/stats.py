@@ -1,0 +1,171 @@
+"""Per-frame event counters produced by the functional pipeline.
+
+Every quantity the timing/energy models — or the paper's figures — need is
+an explicit counter here, split by pipeline (Geometry vs Raster) because
+Figures 7 and 11 report the two separately.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List
+
+
+@dataclass
+class FrameStats:
+    """Event counts for one rendered frame.
+
+    Geometry-pipeline events:
+
+    Attributes:
+        commands_processed: draw commands decoded by the Command
+            Processor (state setup, matrix binds).
+        vertices_fetched: vertices read from memory.
+        vertex_instructions: total vertex-shader ALU operations executed.
+        primitives_in: triangles entering primitive assembly.
+        primitives_culled: back-facing or off-screen triangles dropped.
+        primitives_binned: triangles surviving assembly (sent to binning).
+        primitive_tile_pairs: (triangle, tile) binning events.
+        parameter_buffer_bytes: attribute bytes written to the Parameter
+            Buffer (includes the layer-identifier overhead under EVR).
+        layer_id_bytes: the subset of ``parameter_buffer_bytes`` spent on
+            EVR layer identifiers (the paper's 2.1% overhead in Fig. 6).
+        display_list_writes: pointers appended to Display Lists.
+        signature_updates: per-(triangle, tile) CRC combines done by RE.
+        signature_skips: CRC combines avoided because EVR predicted the
+            triangle occluded in that tile.
+        lgt_accesses: Layer Generator Table reads+updates (EVR).
+        fvp_lookups: FVP Table reads during binning (EVR).
+
+    Raster-pipeline events:
+
+    Attributes:
+        tiles_total: tiles scheduled this frame.
+        tiles_rendered: tiles actually rendered.
+        tiles_skipped: tiles skipped by Rendering Elimination.
+        signature_checks: per-tile signature comparisons at schedule time.
+        signature_poisons: tiles whose signature was invalidated because
+            a predicted-occluded primitive was actually visible.
+        display_list_reads: pointers dereferenced from Display Lists.
+        primitives_rasterized: (triangle, tile) rasterization events.
+        raster_attributes: scalar attributes set up by the rasterizer.
+        fragments_generated: fragments produced by the rasterizer.
+        early_z_tests: fragments tested by the Early Depth Test.
+        early_z_kills: fragments discarded by the Early Depth Test.
+        fragments_shaded: fragments that reached the fragment processors.
+        fragment_instructions: total fragment-shader ALU operations.
+        texture_samples: texture fetches issued by fragment shading.
+        blend_operations: Color Buffer merge operations.
+        depth_writes: Z-buffer updates.
+        layer_buffer_writes: Layer Buffer updates (EVR).
+        fvp_updates: end-of-tile FVP computations + FVP Table writes (EVR).
+        color_flush_bytes: bytes flushed from Color Buffers to DRAM.
+        overdrawn_fragments: shaded fragments later overwritten by an
+            opaque fragment (pure overshading — the waste EVR attacks).
+        prepass_primitives: primitives rasterized by the charged
+            depth-only pre-pass (``z_prepass`` feature).
+        prepass_fragments: fragments depth-tested by the pre-pass.
+        prepass_depth_writes: Z-buffer writes made by the pre-pass.
+        hiz_tests: Hierarchical-Z primitive rejection tests.
+        hiz_culled: primitives skipped entirely by Hierarchical-Z.
+    """
+
+    # geometry
+    commands_processed: int = 0
+    vertices_fetched: int = 0
+    vertex_instructions: int = 0
+    primitives_in: int = 0
+    primitives_culled: int = 0
+    primitives_binned: int = 0
+    primitive_tile_pairs: int = 0
+    parameter_buffer_bytes: int = 0
+    layer_id_bytes: int = 0
+    display_list_writes: int = 0
+    signature_updates: int = 0
+    signature_skips: int = 0
+    lgt_accesses: int = 0
+    fvp_lookups: int = 0
+    # raster
+    tiles_total: int = 0
+    tiles_rendered: int = 0
+    tiles_skipped: int = 0
+    signature_checks: int = 0
+    signature_poisons: int = 0
+    display_list_reads: int = 0
+    primitives_rasterized: int = 0
+    raster_attributes: int = 0
+    fragments_generated: int = 0
+    early_z_tests: int = 0
+    early_z_kills: int = 0
+    fragments_shaded: int = 0
+    fragment_instructions: int = 0
+    texture_samples: int = 0
+    blend_operations: int = 0
+    depth_writes: int = 0
+    layer_buffer_writes: int = 0
+    fvp_updates: int = 0
+    color_flush_bytes: int = 0
+    overdrawn_fragments: int = 0
+    # Z-prepass (charged two-pass rendering)
+    prepass_primitives: int = 0
+    prepass_fragments: int = 0
+    prepass_depth_writes: int = 0
+    # Hierarchical-Z primitive culling
+    hiz_tests: int = 0
+    hiz_culled: int = 0
+    # prediction bookkeeping (EVR)
+    predictions_made: int = 0
+    predicted_occluded: int = 0
+    mispredicted_visible: int = 0
+
+    def merge(self, other: "FrameStats") -> "FrameStats":
+        """Accumulate ``other`` into this instance (in place)."""
+        for stats_field in dataclasses.fields(self):
+            name = stats_field.name
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+        return self
+
+    def as_dict(self) -> Dict[str, int]:
+        return dataclasses.asdict(self)
+
+    @property
+    def overshading_ratio(self) -> float:
+        """Shaded fragments per *covered* pixel-write — >1 means waste."""
+        effective = self.fragments_shaded - self.overdrawn_fragments
+        return self.fragments_shaded / effective if effective else 0.0
+
+
+class StatsAccumulator:
+    """Collects per-frame stats for a whole run and aggregates them."""
+
+    def __init__(self) -> None:
+        self.frames: List[FrameStats] = []
+
+    def add(self, frame_stats: FrameStats) -> None:
+        self.frames.append(frame_stats)
+
+    def __len__(self) -> int:
+        return len(self.frames)
+
+    def __iter__(self) -> Iterator[FrameStats]:
+        return iter(self.frames)
+
+    def total(self) -> FrameStats:
+        """Sum of all frames' counters."""
+        aggregate = FrameStats()
+        for frame_stats in self.frames:
+            aggregate.merge(frame_stats)
+        return aggregate
+
+    def totals_excluding_first(self) -> FrameStats:
+        """Sum over frames 1..N-1.
+
+        The first frame has no previous-frame information, so both RE and
+        EVR behave as the baseline on it; excluding it matches the paper's
+        steady-state measurements.
+        """
+        aggregate = FrameStats()
+        for frame_stats in self.frames[1:]:
+            aggregate.merge(frame_stats)
+        return aggregate if len(self.frames) > 1 else self.total()

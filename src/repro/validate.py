@@ -1,0 +1,114 @@
+"""Cross-mode validation: prove the optimizations change nothing visible.
+
+Runs a frame stream under every pipeline mode and checks the library's
+correctness contracts:
+
+1. BASELINE, RE, EVR, EVR-reorder-only and ORACLE render pixel-identical
+   frames.
+2. Shaded-fragment ordering: Oracle <= EVR-reordered <= Baseline.
+3. EVR never skips more tiles than are pixel-identical (oracle bound).
+
+Exposed as :func:`validate_stream` for library users and as
+``python -m repro validate <benchmark>`` on the command line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from .commands import FrameStream
+from .config import GPUConfig
+from .pipeline import GPU, PipelineMode, RunResult
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of one cross-mode validation run."""
+
+    frames: int
+    checks: List[str] = field(default_factory=list)
+    failures: List[str] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return not self.failures
+
+    def record(self, description: str, ok: bool) -> None:
+        self.checks.append(description)
+        if not ok:
+            self.failures.append(description)
+
+    def render(self) -> str:
+        lines = [
+            f"validation over {self.frames} frames: "
+            f"{len(self.checks) - len(self.failures)}/{len(self.checks)} "
+            "checks passed"
+        ]
+        for check in self.checks:
+            marker = "FAIL" if check in self.failures else "ok"
+            lines.append(f"  [{marker}] {check}")
+        return "\n".join(lines)
+
+
+_MODES = (
+    PipelineMode.BASELINE,
+    PipelineMode.RE,
+    PipelineMode.EVR,
+    PipelineMode.EVR_REORDER_ONLY,
+    PipelineMode.ORACLE,
+)
+
+
+def validate_stream(
+    stream: FrameStream,
+    config: Optional[GPUConfig] = None,
+    modes: tuple = _MODES,
+) -> ValidationReport:
+    """Run ``stream`` under every mode and check the contracts."""
+    config = config or GPUConfig.default()
+    report = ValidationReport(frames=len(stream))
+
+    results: Dict[PipelineMode, RunResult] = {}
+    for mode in modes:
+        results[mode] = GPU(config, mode).render_stream(stream)
+
+    baseline = results[PipelineMode.BASELINE]
+    for mode, result in results.items():
+        if mode is PipelineMode.BASELINE:
+            continue
+        identical = all(
+            np.array_equal(expected.image, actual.image)
+            for expected, actual in zip(baseline.frames, result.frames)
+        )
+        report.record(
+            f"{mode.value}: images pixel-identical to baseline", identical
+        )
+
+    if (PipelineMode.EVR_REORDER_ONLY in results
+            and PipelineMode.ORACLE in results):
+        base_shaded = baseline.total_stats(warmup=0).fragments_shaded
+        reorder_shaded = results[
+            PipelineMode.EVR_REORDER_ONLY
+        ].total_stats(warmup=0).fragments_shaded
+        oracle_shaded = results[PipelineMode.ORACLE].total_stats(
+            warmup=0
+        ).fragments_shaded
+        report.record(
+            "shaded fragments: oracle <= evr-reordered <= baseline",
+            oracle_shaded <= reorder_shaded <= base_shaded,
+        )
+
+    if PipelineMode.EVR in results and PipelineMode.ORACLE in results:
+        evr_skipped = results[PipelineMode.EVR].total_stats(
+            warmup=0
+        ).tiles_skipped
+        oracle_equal = results[PipelineMode.ORACLE].comparator.tiles_equal
+        report.record(
+            "EVR tile skips within the pixel-exact oracle bound",
+            evr_skipped <= oracle_equal,
+        )
+
+    return report

@@ -1,0 +1,63 @@
+"""Tests for the command-line interface."""
+
+import os
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "cde"])
+        assert args.benchmark == "cde"
+        assert args.modes == ["baseline", "re", "evr"]
+        assert args.frames == 10
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "doom"])
+
+    def test_figure_choices(self):
+        args = build_parser().parse_args(["figure", "fig9"])
+        assert args.figure == "fig9"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "fig99"])
+
+
+class TestCommands:
+    SMALL = ["--frames", "3", "--width", "64", "--height", "48"]
+
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "Castle Defense" in out
+
+    def test_run(self, capsys):
+        assert main(["run", "hop", "--modes", "baseline", "evr"]
+                    + self.SMALL) == 0
+        out = capsys.readouterr().out
+        assert "baseline" in out and "evr" in out
+        assert "tiles skipped" in out
+
+    def test_figure_table2(self, capsys):
+        assert main(["figure", "table2"] + self.SMALL) == 0
+        assert "400 MHz" in capsys.readouterr().out
+
+    def test_figure_subset(self, capsys):
+        assert main(["figure", "fig9", "--benchmarks", "hop"]
+                    + self.SMALL) == 0
+        assert "hop" in capsys.readouterr().out
+
+    def test_render(self, tmp_path, capsys):
+        output = str(tmp_path / "frames")
+        assert main(["render", "hop", "--output", output, "--mode",
+                     "baseline"] + self.SMALL) == 0
+        files = sorted(os.listdir(output))
+        assert files == ["hop_000.ppm", "hop_001.ppm", "hop_002.ppm"]
+        with open(os.path.join(output, files[0]), "rb") as handle:
+            assert handle.read(2) == b"P6"

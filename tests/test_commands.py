@@ -1,0 +1,143 @@
+"""Tests for repro.commands: render state, draw commands, frame streams."""
+
+import pytest
+
+from repro import (
+    BlendMode,
+    CommandError,
+    DrawCommand,
+    Frame,
+    FrameStream,
+    RenderState,
+    ShaderProfile,
+)
+from repro.geom import screen_quad
+from repro.math3d import Mat4
+
+
+class TestShaderProfile:
+    def test_defaults_are_valid(self):
+        profile = ShaderProfile()
+        assert profile.fragment_instructions > 0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"vertex_instructions": -1},
+            {"fragment_instructions": -1},
+            {"texture_fetches": -1},
+            {"texture_size": 0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(CommandError):
+            ShaderProfile(**kwargs)
+
+    def test_pack_distinguishes_shaders(self):
+        assert ShaderProfile(texture_id=0).pack() != ShaderProfile(
+            texture_id=1
+        ).pack()
+
+
+class TestRenderState:
+    def test_woz_classification(self):
+        assert RenderState.opaque_3d().writes_z
+        assert not RenderState.translucent_3d().writes_z
+        assert not RenderState.sprite_2d().writes_z
+
+    def test_opaque_classification(self):
+        assert RenderState.opaque_3d().opaque
+        assert not RenderState.translucent_3d().opaque
+        assert RenderState.sprite_2d().opaque
+        assert not RenderState.sprite_2d(blend=BlendMode.ALPHA).opaque
+
+    def test_depth_write_requires_test(self):
+        with pytest.raises(CommandError):
+            RenderState(depth_test=False, depth_write=True)
+
+    def test_pack_covers_flags(self):
+        seen = {
+            RenderState.opaque_3d().pack(),
+            RenderState.opaque_3d(cull_backface=False).pack(),
+            RenderState.translucent_3d().pack(),
+            RenderState.sprite_2d().pack(),
+        }
+        assert len(seen) == 4
+
+    def test_immutable(self):
+        with pytest.raises(Exception):
+            RenderState().depth_test = False
+
+
+class TestDrawCommand:
+    def test_empty_rejected(self):
+        with pytest.raises(CommandError):
+            DrawCommand([])
+
+    def test_counts(self):
+        command = DrawCommand.from_mesh(screen_quad(0, 0, 10, 10))
+        assert command.triangle_count == 2
+        assert command.vertex_count == 6
+
+    def test_matrix_overrides_default_none(self):
+        command = DrawCommand.from_mesh(screen_quad(0, 0, 10, 10))
+        assert command.view is None
+        assert command.projection is None
+
+
+class TestFrame:
+    def test_empty_rejected(self):
+        with pytest.raises(CommandError):
+            Frame([])
+
+    def test_counts(self):
+        frame = Frame(
+            [DrawCommand.from_mesh(screen_quad(0, 0, 10, 10))] * 3
+        )
+        assert frame.triangle_count == 6
+        assert frame.vertex_count == 18
+
+
+class TestFrameStream:
+    @staticmethod
+    def _builder(index):
+        return Frame(
+            [DrawCommand.from_mesh(screen_quad(0, 0, 10, 10))], index=index
+        )
+
+    def test_len_and_iteration(self):
+        stream = FrameStream(self._builder, 5)
+        assert len(stream) == 5
+        assert [frame.index for frame in stream] == [0, 1, 2, 3, 4]
+
+    def test_frame_access(self):
+        stream = FrameStream(self._builder, 5)
+        assert stream.frame(3).index == 3
+
+    def test_out_of_range(self):
+        stream = FrameStream(self._builder, 5)
+        with pytest.raises(CommandError):
+            stream.frame(5)
+        with pytest.raises(CommandError):
+            stream.frame(-1)
+
+    def test_zero_frames_rejected(self):
+        with pytest.raises(CommandError):
+            FrameStream(self._builder, 0)
+
+    def test_builder_index_mismatch_detected(self):
+        stream = FrameStream(lambda i: self._builder(0), 3)
+        with pytest.raises(CommandError):
+            stream.frame(1)
+
+    def test_from_frames(self):
+        frames = [self._builder(i) for i in range(3)]
+        stream = FrameStream.from_frames(frames)
+        assert len(stream) == 3
+        assert stream.frame(2) is frames[2]
+
+    def test_replay_is_identical(self):
+        stream = FrameStream(self._builder, 3)
+        first = [frame.triangle_count for frame in stream]
+        second = [frame.triangle_count for frame in stream]
+        assert first == second

@@ -1,0 +1,141 @@
+"""Tests for the EVR core: FVP computation and the prediction rules.
+
+Includes a faithful reconstruction of the paper's Figure 3 worked example
+(hybrid WOZ/NWOZ FVP computation).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import VisibilityPredictor, compute_fvp, predict_occluded
+from repro.hw import FVPEntry, FVPType, LayerBuffer, ZBuffer
+
+
+def full_mask():
+    return np.ones((4, 4), dtype=bool)
+
+
+def depth_plane(value):
+    return np.full((4, 4), value)
+
+
+class TestPredictOccluded:
+    def test_no_entry_predicts_visible(self):
+        assert not predict_occluded(None, writes_z=True, z_near=0.9, layer=1)
+
+    def test_nwoz_fvp_layer_rule(self):
+        entry = FVPEntry(FVPType.NWOZ, 3)
+        assert predict_occluded(entry, writes_z=False, z_near=0.0, layer=2)
+        assert not predict_occluded(entry, writes_z=False, z_near=0.0, layer=3)
+        assert not predict_occluded(entry, writes_z=False, z_near=0.0, layer=4)
+
+    def test_nwoz_fvp_applies_to_woz_primitives_too(self):
+        entry = FVPEntry(FVPType.NWOZ, 3)
+        assert predict_occluded(entry, writes_z=True, z_near=0.1, layer=2)
+
+    def test_woz_fvp_depth_rule(self):
+        entry = FVPEntry(FVPType.WOZ, 0.5)
+        assert predict_occluded(entry, writes_z=True, z_near=0.6, layer=9)
+        assert not predict_occluded(entry, writes_z=True, z_near=0.5, layer=9)
+        assert not predict_occluded(entry, writes_z=True, z_near=0.4, layer=9)
+
+    def test_woz_fvp_never_predicts_nwoz_occluded(self):
+        # Section III-C: with a WOZ FVP, only WOZ primitives can be
+        # labeled occluded (NWOZ depth is unknown to the Z-buffer).
+        entry = FVPEntry(FVPType.WOZ, 0.5)
+        assert not predict_occluded(entry, writes_z=False, z_near=0.9, layer=1)
+
+
+class TestComputeFVP:
+    def test_pure_woz_tile(self):
+        z = ZBuffer(4, 4)
+        lb = LayerBuffer(4, 4)
+        z.write(full_mask(), depth_plane(0.42))
+        lb.write(full_mask(), 2, is_woz=True)
+        entry = compute_fvp(lb, z)
+        assert entry.fvp_type is FVPType.WOZ
+        assert entry.value == pytest.approx(0.42)
+
+    def test_nwoz_covering_tile(self):
+        z = ZBuffer(4, 4)
+        lb = LayerBuffer(4, 4)
+        lb.write(full_mask(), 3, is_woz=False)
+        entry = compute_fvp(lb, z)
+        assert entry.fvp_type is FVPType.NWOZ
+        assert entry.value == 3
+
+    def test_empty_tile_is_conservative(self):
+        entry = compute_fvp(LayerBuffer(4, 4), ZBuffer(4, 4))
+        assert entry.fvp_type is FVPType.NWOZ
+        assert entry.value == 0  # no layer is below 0 -> nothing occluded
+
+
+class TestFigure3Scenarios:
+    """The paper's Figure 3 worked examples.
+
+    A tile seen top-down: layers drawn left (near) to right (far).
+    """
+
+    def test_figure_3a_nwoz_fvp(self):
+        # Layers: 1 (NWOZ, occluded by 2), 2 (NWOZ, occluded by 3 and 4),
+        # 3 (NWOZ, visible), 4 (NWOZ, visible, nearer).  L_far = 3 and
+        # the FVP is a layer.
+        z = ZBuffer(4, 4)
+        lb = LayerBuffer(4, 4)
+        lb.write(full_mask(), 1, is_woz=False)        # layer 1 everywhere
+        lb.write(full_mask(), 2, is_woz=False)        # layer 2 covers 1
+        left = np.zeros((4, 4), dtype=bool)
+        left[:, :2] = True
+        right = ~left
+        lb.write(left, 3, is_woz=False)               # layer 3 visible left
+        lb.write(right, 4, is_woz=False)              # layer 4 visible right
+        entry = compute_fvp(lb, z)
+        assert entry.fvp_type is FVPType.NWOZ
+        assert entry.value == 3
+
+    def test_figure_3b_woz_fvp(self):
+        # Layer 1 is a WOZ batch with depths 0, 0.5 and 1 across the
+        # tile; deeper-z parts are occluded by nearer WOZ geometry except
+        # where only z=0.5 covers.  The tile's farthest *visible* point
+        # belongs to WOZ geometry, so the FVP is Z_far = 0.5.
+        z = ZBuffer(4, 4)
+        lb = LayerBuffer(4, 4)
+        near = np.zeros((4, 4), dtype=bool)
+        near[:, :2] = True
+        far = ~near
+        # WOZ batch (all layer 1): fragment depths.
+        z.write(full_mask(), depth_plane(1.0))        # depth-1 geometry
+        lb.write(full_mask(), 1, is_woz=True)
+        mid = depth_plane(0.5)
+        passing = z.test(far, mid)
+        z.write(passing, mid)                          # 0.5 covers right half
+        lb.write(passing, 1, is_woz=True)
+        zero = depth_plane(0.0)
+        passing = z.test(near, zero)
+        z.write(passing, zero)                         # 0 covers left half
+        lb.write(passing, 1, is_woz=True)
+        entry = compute_fvp(lb, z)
+        assert entry.fvp_type is FVPType.WOZ
+        assert entry.value == pytest.approx(0.5)
+
+
+class TestVisibilityPredictor:
+    def test_records_and_predicts(self):
+        predictor = VisibilityPredictor(num_tiles=4)
+        z = ZBuffer(4, 4)
+        lb = LayerBuffer(4, 4)
+        z.write(full_mask(), depth_plane(0.5))
+        lb.write(full_mask(), 1, is_woz=True)
+        predictor.record_tile(2, lb, z)
+        assert predictor.predict(2, writes_z=True, z_near=0.7, layer=1)
+        assert not predictor.predict(2, writes_z=True, z_near=0.3, layer=1)
+        assert predictor.stats.predictions == 2
+        assert predictor.stats.predicted_occluded == 1
+        assert predictor.occluded_rate == 0.5
+
+    def test_unrecorded_tile_predicts_visible(self):
+        predictor = VisibilityPredictor(num_tiles=4)
+        assert not predictor.predict(0, writes_z=True, z_near=0.99, layer=0)
+
+    def test_occluded_rate_empty(self):
+        assert VisibilityPredictor(1).occluded_rate == 0.0

@@ -1,0 +1,105 @@
+"""Tests for the energy model."""
+
+import pytest
+
+from repro import GPUConfig
+from repro.energy import EnergyModel, EnergyParameters
+from repro.timing import FrameStats
+
+
+@pytest.fixture
+def model():
+    return EnergyModel(GPUConfig.default())
+
+
+def snapshot(dram_bytes=0, l2_accesses=0, texture_accesses=0):
+    return {
+        "vertex": {"accesses": 0},
+        "texture0": {"accesses": texture_accesses},
+        "tile": {"accesses": 0},
+        "l2": {"accesses": l2_accesses},
+        "dram": {
+            "read_bytes": dram_bytes,
+            "write_bytes": 0,
+            "read_requests": dram_bytes // 64,
+            "write_requests": 0,
+        },
+    }
+
+
+class TestBreakdown:
+    def test_total_is_sum_of_components(self, model):
+        stats = FrameStats(fragment_instructions=1000, early_z_tests=100,
+                           blend_operations=50, lgt_accesses=10,
+                           signature_updates=5, layer_id_bytes=20)
+        breakdown = model.compute(stats, snapshot(dram_bytes=4096), 1e6,
+                                  evr_enabled=True, re_enabled=True)
+        assert breakdown.total == pytest.approx(
+            sum(value for key, value in breakdown.as_dict().items()
+                if key != "total")
+        )
+
+    def test_dram_dominates_compute_per_byte(self, model):
+        # Moving one byte from DRAM costs more than one ALU op: the
+        # premise of the whole paper.
+        params = model.params
+        assert params.dram_pj_per_byte > params.alu_op_pj
+
+    def test_zero_run_zero_dynamic_energy(self, model):
+        breakdown = model.compute(FrameStats(), snapshot(), 0.0,
+                                  evr_enabled=False, re_enabled=False)
+        assert breakdown.total == 0.0
+
+    def test_static_energy_scales_with_cycles(self, model):
+        short = model.compute(FrameStats(), snapshot(), 1e6,
+                              evr_enabled=False, re_enabled=False)
+        long = model.compute(FrameStats(), snapshot(), 2e6,
+                             evr_enabled=False, re_enabled=False)
+        assert long.static == pytest.approx(2 * short.static)
+
+
+class TestFeatureToggles:
+    def test_evr_structures_only_when_enabled(self, model):
+        stats = FrameStats(lgt_accesses=100, fvp_lookups=100,
+                           layer_buffer_writes=100, layer_id_bytes=200)
+        off = model.compute(stats, snapshot(), 1e6, evr_enabled=False,
+                            re_enabled=False)
+        on = model.compute(stats, snapshot(), 1e6, evr_enabled=True,
+                           re_enabled=False)
+        assert off.evr_structures == 0.0
+        assert off.parameter_buffer_overhead == 0.0
+        assert on.evr_structures > 0.0
+        assert on.parameter_buffer_overhead > 0.0
+
+    def test_re_structures_only_when_enabled(self, model):
+        stats = FrameStats(signature_updates=100)
+        off = model.compute(stats, snapshot(), 1e6, evr_enabled=False,
+                            re_enabled=False)
+        on = model.compute(stats, snapshot(), 1e6, evr_enabled=False,
+                           re_enabled=True)
+        assert off.re_structures == 0.0
+        assert on.re_structures > 0.0
+
+
+class TestCacheEnergy:
+    def test_l2_more_expensive_than_l1(self, model):
+        l1_heavy = model.compute(FrameStats(), snapshot(texture_accesses=100),
+                                 0.0, False, False)
+        l2_heavy = model.compute(FrameStats(), snapshot(l2_accesses=100),
+                                 0.0, False, False)
+        assert l2_heavy.caches > l1_heavy.caches
+
+    def test_dram_energy_scales_with_bytes(self, model):
+        small = model.compute(FrameStats(), snapshot(dram_bytes=64), 0.0,
+                              False, False)
+        large = model.compute(FrameStats(), snapshot(dram_bytes=6400), 0.0,
+                              False, False)
+        assert large.dram > 10 * small.dram
+
+
+class TestParameters:
+    def test_static_joules_conversion(self):
+        params = EnergyParameters()
+        # 1 mW for 1 second at 400 MHz = 1 mJ.
+        joules = params.static_joules(1.0, 400e6, 400.0)
+        assert joules == pytest.approx(1e-3)

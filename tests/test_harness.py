@@ -1,0 +1,127 @@
+"""Tests for the experiment harness: runner, tables, experiments."""
+
+import pytest
+
+from repro import GPUConfig
+from repro.harness import (
+    figure6_energy,
+    figure7_time,
+    figure8_overshading,
+    figure9_redundant_tiles,
+    figure10_energy_vs_re,
+    figure11_time_vs_re,
+    format_table,
+    run_benchmark,
+    table2_parameters,
+    table3_suite,
+)
+from repro.harness.runner import SuiteRunner, run_suite
+from repro.pipeline import PipelineMode
+
+
+@pytest.fixture(scope="module")
+def runner():
+    """Shared memoizing runner on a small config."""
+    return SuiteRunner(GPUConfig.tiny(frames=5))
+
+
+class TestFormatTable:
+    def test_alignment_and_precision(self):
+        text = format_table(["name", "value"], [["a", 1.23456], ["bb", 2]],
+                            precision=2)
+        lines = text.splitlines()
+        assert lines[0].endswith("value")
+        assert "1.23" in text
+        assert "2" in text
+
+    def test_title(self):
+        text = format_table(["x"], [[1]], title="hello")
+        assert text.splitlines()[0] == "hello"
+
+
+class TestRunner:
+    def test_run_benchmark_metrics(self):
+        metrics = run_benchmark("hop", PipelineMode.BASELINE,
+                                GPUConfig.tiny(frames=3))
+        assert metrics.benchmark == "hop"
+        assert metrics.mode == "baseline"
+        assert metrics.total_cycles > 0
+        assert metrics.energy_joules > 0
+        assert metrics.redundant_tile_rate == 0.0
+
+    def test_suite_runner_memoizes(self, runner):
+        first = runner.run("hop", PipelineMode.BASELINE)
+        second = runner.run("hop", PipelineMode.BASELINE)
+        assert first is second
+
+    def test_run_suite_subset(self):
+        results = run_suite(
+            [PipelineMode.BASELINE], GPUConfig.tiny(frames=2),
+            benchmarks=["hop"],
+        )
+        assert ("hop", "baseline") in results
+
+
+class TestTables:
+    def test_table2_renders(self):
+        result = table2_parameters()
+        text = result.render()
+        assert "1196x768" in text
+        assert "cache:l2" in text
+        assert "queue:fragment" in text
+
+    def test_table3_lists_suite(self):
+        result = table3_suite()
+        assert len(result.rows) == 20
+        assert "Candy Crush Saga" in result.render()
+
+
+class TestFigures:
+    """Each figure function runs on a 2-benchmark subset for speed; the
+    full-suite versions are the bench targets."""
+
+    BENCHES_2D = ["cde", "hop"]
+    BENCHES_3D = ["tib"]
+
+    def test_figure6(self, runner):
+        result = figure6_energy(runner, benchmarks=self.BENCHES_2D)
+        assert result.rows[-1][0] == "average"
+        for row in result.rows[:-1]:
+            assert 0.0 < row[1] <= 1.5  # normalized energy
+        assert "avg_energy_savings" in result.summary
+
+    def test_figure7(self, runner):
+        result = figure7_time(runner, benchmarks=self.BENCHES_2D)
+        for row in result.rows[:-1]:
+            geometry, raster, total = row[1], row[2], row[3]
+            assert total == pytest.approx(geometry + raster)
+
+    def test_figure8(self, runner):
+        result = figure8_overshading(runner, benchmarks=self.BENCHES_3D)
+        for row in result.rows:
+            baseline, evr, oracle = row[1], row[2], row[3]
+            assert oracle <= evr + 1e-9
+            assert evr <= baseline + 1e-9
+
+    def test_figure9(self, runner):
+        result = figure9_redundant_tiles(runner, benchmarks=self.BENCHES_2D)
+        for row in result.rows[:-1]:
+            re_rate, evr_rate, oracle_rate = row[1], row[2], row[3]
+            assert 0.0 <= re_rate <= 1.0
+            assert evr_rate <= oracle_rate + 0.05
+
+    def test_figure10(self, runner):
+        result = figure10_energy_vs_re(runner, benchmarks=self.BENCHES_2D)
+        assert result.rows[-1][0] == "average"
+        assert result.summary["avg_energy_vs_re"] > 0
+
+    def test_figure11(self, runner):
+        result = figure11_time_vs_re(runner, benchmarks=self.BENCHES_2D)
+        for row in result.rows[:-1]:
+            assert row[3] == pytest.approx(row[1] + row[2])
+            assert row[6] == pytest.approx(row[4] + row[5])
+
+    def test_render_does_not_crash(self, runner):
+        text = figure9_redundant_tiles(runner,
+                                       benchmarks=self.BENCHES_2D).render()
+        assert "Figure 9" in text

@@ -1,0 +1,197 @@
+"""Tests for Parameter Buffer, Signature Buffer, LGT and FVP Table."""
+
+import pytest
+
+from repro import RenderState
+from repro.geom import ScreenTriangle, VertexAttributes
+from repro.hw import (
+    DisplayList,
+    DisplayListEntry,
+    FVPEntry,
+    FVPTable,
+    FVPType,
+    LayerGeneratorTable,
+    ParameterBuffer,
+    SignatureBuffer,
+    primitive_signature,
+)
+from repro.hw.signature_buffer import combine_signature
+from repro.math3d import Vec2
+
+
+def make_primitive(signature=b"abc", command_id=0):
+    return ScreenTriangle(
+        xy=(Vec2(0, 0), Vec2(4, 0), Vec2(0, 4)),
+        z=(0.5, 0.5, 0.5),
+        attributes=(VertexAttributes(),) * 3,
+        command_id=command_id,
+        primitive_id=0,
+        state=RenderState.sprite_2d(),
+        signature_bytes=signature,
+    )
+
+
+def make_entry(primitive=None, layer=0):
+    return DisplayListEntry(
+        primitive=primitive or make_primitive(), offset=0, layer=layer
+    )
+
+
+class TestParameterBuffer:
+    def test_offsets_advance(self):
+        pb = ParameterBuffer(4)
+        first = pb.store_primitive(make_primitive())
+        second = pb.store_primitive(make_primitive())
+        assert first == 0
+        assert second == pb.attribute_bytes_per_primitive
+        assert pb.stored_primitives == 2
+        assert pb.total_bytes == 2 * pb.attribute_bytes_per_primitive
+
+    def test_reset(self):
+        pb = ParameterBuffer(4)
+        pb.store_primitive(make_primitive())
+        pb.display_list(0).append_first(make_entry())
+        pb.reset()
+        assert pb.total_bytes == 0
+        assert len(pb.display_list(0)) == 0
+
+    def test_tiles_iteration(self):
+        pb = ParameterBuffer(3)
+        assert sorted(tile for tile, _ in pb.tiles()) == [0, 1, 2]
+
+
+class TestDisplayList:
+    def test_iteration_order_first_then_second(self):
+        dl = DisplayList()
+        a, b, c = make_entry(layer=1), make_entry(layer=2), make_entry(layer=3)
+        dl.append_first(a)
+        dl.append_second(b)
+        dl.append_first(c)
+        assert list(dl) == [a, c, b]
+        assert len(dl) == 3
+
+    def test_promote_second(self):
+        dl = DisplayList()
+        a, b, c = make_entry(layer=1), make_entry(layer=2), make_entry(layer=3)
+        dl.append_first(a)
+        dl.append_second(b)
+        dl.promote_second()
+        dl.append_first(c)
+        assert list(dl) == [a, b, c]
+        assert not dl.second
+
+
+class TestSignatureBuffer:
+    def test_first_frame_never_matches(self):
+        sb = SignatureBuffer(2)
+        sb.update(0, 123)
+        assert not sb.matches_previous(0)
+
+    def test_identical_frames_match(self):
+        sb = SignatureBuffer(2)
+        sb.update(0, 123)
+        sb.rotate_frame()
+        sb.update(0, 123)
+        assert sb.matches_previous(0)
+
+    def test_different_primitive_set_differs(self):
+        sb = SignatureBuffer(2)
+        sb.update(0, 123)
+        sb.rotate_frame()
+        sb.update(0, 124)
+        assert not sb.matches_previous(0)
+
+    def test_order_sensitivity(self):
+        a = combine_signature(combine_signature(0, 1), 2)
+        b = combine_signature(combine_signature(0, 2), 1)
+        assert a != b
+
+    def test_empty_tile_matches_empty_tile(self):
+        sb = SignatureBuffer(1)
+        sb.rotate_frame()
+        assert sb.matches_previous(0)  # empty == empty after first frame
+
+    def test_primitive_signature_tracks_bytes(self):
+        assert primitive_signature(make_primitive(b"a")) != primitive_signature(
+            make_primitive(b"b")
+        )
+
+    def test_incremental_equals_batch(self):
+        crcs = [11, 22, 33]
+        incremental = 0
+        for crc in crcs:
+            incremental = combine_signature(incremental, crc)
+        batch = combine_signature(
+            combine_signature(combine_signature(0, 11), 22), 33
+        )
+        assert incremental == batch
+
+
+class TestLayerGeneratorTable:
+    def test_first_command_opens_layer_one(self):
+        lgt = LayerGeneratorTable(4)
+        assert lgt.assign_layer(0, command_id=0, is_woz=False) == 1
+
+    def test_same_command_same_layer(self):
+        lgt = LayerGeneratorTable(4)
+        first = lgt.assign_layer(0, 0, False)
+        second = lgt.assign_layer(0, 0, False)
+        assert first == second == 1
+
+    def test_new_nwoz_command_increments(self):
+        lgt = LayerGeneratorTable(4)
+        lgt.assign_layer(0, 0, False)
+        assert lgt.assign_layer(0, 1, False) == 2
+
+    def test_consecutive_woz_commands_share_layer(self):
+        lgt = LayerGeneratorTable(4)
+        lgt.assign_layer(0, 0, False)          # NWOZ -> 1
+        first_woz = lgt.assign_layer(0, 1, True)   # WOZ -> 2
+        second_woz = lgt.assign_layer(0, 2, True)  # WOZ batch -> still 2
+        assert first_woz == second_woz == 2
+
+    def test_woz_after_nwoz_increments(self):
+        lgt = LayerGeneratorTable(4)
+        lgt.assign_layer(0, 0, True)    # WOZ -> 1
+        lgt.assign_layer(0, 1, False)   # NWOZ -> 2
+        assert lgt.assign_layer(0, 2, True) == 3  # WOZ after NWOZ -> 3
+
+    def test_layers_independent_per_tile(self):
+        lgt = LayerGeneratorTable(4)
+        lgt.assign_layer(0, 0, False)
+        lgt.assign_layer(0, 1, False)
+        assert lgt.assign_layer(1, 1, False) == 1  # tile 1 untouched before
+
+    def test_reset(self):
+        lgt = LayerGeneratorTable(4)
+        lgt.assign_layer(0, 0, False)
+        lgt.reset()
+        assert lgt.assign_layer(0, 5, False) == 1
+        assert lgt.current_layer(1) == 0
+
+    def test_access_counter(self):
+        lgt = LayerGeneratorTable(4)
+        lgt.assign_layer(0, 0, False)
+        lgt.assign_layer(1, 0, False)
+        assert lgt.accesses == 2
+
+
+class TestFVPTable:
+    def test_initially_empty(self):
+        table = FVPTable(4)
+        assert table.lookup(0) is None
+        assert table.lookups == 1
+
+    def test_update_and_lookup(self):
+        table = FVPTable(4)
+        entry = FVPEntry(FVPType.WOZ, 0.75)
+        table.update(2, entry)
+        assert table.lookup(2) == entry
+        assert table.lookup(1) is None
+        assert table.updates == 1
+
+    def test_invalidate(self):
+        table = FVPTable(4)
+        table.update(0, FVPEntry(FVPType.NWOZ, 3))
+        table.invalidate()
+        assert table.lookup(0) is None

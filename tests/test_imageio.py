@@ -1,0 +1,47 @@
+"""Tests for PPM export and image utilities."""
+
+import numpy as np
+import pytest
+
+from repro.imageio import frame_difference, to_rgb8, write_ppm
+
+
+class TestToRGB8:
+    def test_conversion_and_clipping(self):
+        image = np.zeros((2, 2, 4))
+        image[0, 0] = [1.5, -0.2, 0.5, 1.0]
+        rgb = to_rgb8(image)
+        assert rgb.dtype == np.uint8
+        assert rgb.shape == (2, 2, 3)
+        assert tuple(rgb[0, 0]) == (255, 0, 128)
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            to_rgb8(np.zeros((4, 4)))
+
+
+class TestWritePPM:
+    def test_roundtrip_header_and_size(self, tmp_path):
+        image = np.random.default_rng(0).random((6, 8, 4))
+        path = tmp_path / "frame.ppm"
+        write_ppm(path, image)
+        data = path.read_bytes()
+        assert data.startswith(b"P6\n8 6\n255\n")
+        header_len = len(b"P6\n8 6\n255\n")
+        assert len(data) == header_len + 6 * 8 * 3
+
+    def test_accepts_uint8(self, tmp_path):
+        image = np.zeros((2, 2, 3), dtype=np.uint8)
+        write_ppm(tmp_path / "u8.ppm", image)
+        assert (tmp_path / "u8.ppm").exists()
+
+
+class TestFrameDifference:
+    def test_difference(self):
+        a = np.zeros((2, 2, 4))
+        b = np.ones((2, 2, 4)) * 0.25
+        assert np.allclose(frame_difference(a, b), 0.25)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            frame_difference(np.zeros((2, 2, 4)), np.zeros((3, 2, 4)))

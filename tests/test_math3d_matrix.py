@@ -1,0 +1,156 @@
+"""Unit and property tests for repro.math3d matrices and transforms."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.math3d import (
+    Mat4,
+    Vec3,
+    Vec4,
+    look_at,
+    orthographic,
+    perspective,
+    rotate_x,
+    rotate_y,
+    rotate_z,
+    scale,
+    translate,
+    viewport,
+)
+
+unit = st.floats(min_value=-10.0, max_value=10.0, allow_nan=False)
+
+
+def vec3s():
+    return st.builds(Vec3, unit, unit, unit)
+
+
+class TestMat4Basics:
+    def test_identity_transform(self):
+        v = Vec4(1, 2, 3, 1)
+        assert Mat4.identity() @ v == v
+
+    def test_wrong_element_count_raises(self):
+        with pytest.raises(ValueError):
+            Mat4((1.0,) * 15)
+
+    def test_rows_and_columns(self):
+        m = Mat4(tuple(float(i) for i in range(16)))
+        assert m.row(1) == (4.0, 5.0, 6.0, 7.0)
+        assert m.column(2) == (2.0, 6.0, 10.0, 14.0)
+
+    def test_transpose_involution(self):
+        m = Mat4(tuple(float(i) for i in range(16)))
+        assert m.transpose().transpose() == m
+
+    def test_matmul_with_non_matrix_raises(self):
+        with pytest.raises(TypeError):
+            Mat4.identity() @ 3  # type: ignore[operator]
+
+    @given(vec3s(), vec3s())
+    def test_composition_associativity(self, t1, t2):
+        a, b = translate(t1), translate(t2)
+        v = Vec4(1.0, 2.0, 3.0, 1.0)
+        left = (a @ b) @ v
+        right = a @ (b @ v)
+        for lhs, rhs in zip(left, right):
+            assert lhs == pytest.approx(rhs, rel=1e-9, abs=1e-9)
+
+
+class TestAffineTransforms:
+    def test_translate_point_not_direction(self):
+        m = translate(Vec3(1, 2, 3))
+        assert m.transform_point(Vec3(0, 0, 0)) == Vec3(1, 2, 3)
+        assert m.transform_direction(Vec3(1, 0, 0)) == Vec3(1, 0, 0)
+
+    def test_scale(self):
+        m = scale(Vec3(2, 3, 4))
+        assert m.transform_point(Vec3(1, 1, 1)) == Vec3(2, 3, 4)
+
+    def test_rotate_z_quarter_turn(self):
+        m = rotate_z(math.pi / 2)
+        p = m.transform_point(Vec3(1, 0, 0))
+        assert p.x == pytest.approx(0.0, abs=1e-12)
+        assert p.y == pytest.approx(1.0)
+
+    def test_rotate_x_quarter_turn(self):
+        p = rotate_x(math.pi / 2).transform_point(Vec3(0, 1, 0))
+        assert p.y == pytest.approx(0.0, abs=1e-12)
+        assert p.z == pytest.approx(1.0)
+
+    def test_rotate_y_quarter_turn(self):
+        p = rotate_y(math.pi / 2).transform_point(Vec3(0, 0, 1))
+        assert p.x == pytest.approx(1.0)
+        assert p.z == pytest.approx(0.0, abs=1e-12)
+
+    @given(st.floats(min_value=-math.pi, max_value=math.pi))
+    def test_rotation_preserves_length(self, angle):
+        p = rotate_y(angle).transform_point(Vec3(1, 2, 3))
+        assert p.length() == pytest.approx(Vec3(1, 2, 3).length(), rel=1e-9)
+
+
+class TestProjections:
+    def test_perspective_validates(self):
+        with pytest.raises(ValueError):
+            perspective(1.0, 1.0, -1.0, 10.0)
+        with pytest.raises(ValueError):
+            perspective(1.0, 1.0, 10.0, 1.0)
+
+    def test_perspective_near_far_map_to_ndc_extremes(self):
+        proj = perspective(math.radians(60), 1.0, 1.0, 100.0)
+        near_point = (proj @ Vec4(0, 0, -1.0, 1.0)).perspective_divide()
+        far_point = (proj @ Vec4(0, 0, -100.0, 1.0)).perspective_divide()
+        assert near_point.z == pytest.approx(-1.0)
+        assert far_point.z == pytest.approx(1.0)
+
+    def test_perspective_center_ray(self):
+        proj = perspective(math.radians(90), 2.0, 1.0, 10.0)
+        p = (proj @ Vec4(0, 0, -5.0, 1.0)).perspective_divide()
+        assert p.x == pytest.approx(0.0)
+        assert p.y == pytest.approx(0.0)
+
+    def test_orthographic_maps_box_to_ndc(self):
+        proj = orthographic(0, 10, 0, 20, -1, 1)
+        low = (proj @ Vec4(0, 0, 1.0, 1.0)).perspective_divide()
+        high = (proj @ Vec4(10, 20, -1.0, 1.0)).perspective_divide()
+        assert (low.x, low.y) == (pytest.approx(-1.0), pytest.approx(-1.0))
+        assert (high.x, high.y) == (pytest.approx(1.0), pytest.approx(1.0))
+
+    def test_orthographic_validates(self):
+        with pytest.raises(ValueError):
+            orthographic(0, 0, 0, 1, 0, 1)
+
+
+class TestLookAt:
+    def test_eye_maps_to_origin(self):
+        view = look_at(Vec3(3, 4, 5), Vec3(0, 0, 0), Vec3(0, 1, 0))
+        p = view.transform_point(Vec3(3, 4, 5))
+        assert p.length() == pytest.approx(0.0, abs=1e-12)
+
+    def test_target_on_negative_z(self):
+        view = look_at(Vec3(0, 0, 10), Vec3(0, 0, 0), Vec3(0, 1, 0))
+        p = view.transform_point(Vec3(0, 0, 0))
+        assert p.x == pytest.approx(0.0, abs=1e-12)
+        assert p.y == pytest.approx(0.0, abs=1e-12)
+        assert p.z == pytest.approx(-10.0)
+
+
+class TestViewport:
+    def test_ndc_corners_to_pixels(self):
+        vp = viewport(100, 50)
+        top_left = vp.transform_point(Vec3(-1.0, 1.0, -1.0))
+        bottom_right = vp.transform_point(Vec3(1.0, -1.0, 1.0))
+        assert (top_left.x, top_left.y) == (pytest.approx(0), pytest.approx(0))
+        assert top_left.z == pytest.approx(0.0)  # near plane -> depth 0
+        assert (bottom_right.x, bottom_right.y) == (
+            pytest.approx(100), pytest.approx(50))
+        assert bottom_right.z == pytest.approx(1.0)
+
+    def test_center(self):
+        vp = viewport(100, 50)
+        center = vp.transform_point(Vec3(0.0, 0.0, 0.0))
+        assert (center.x, center.y, center.z) == (
+            pytest.approx(50), pytest.approx(25), pytest.approx(0.5))

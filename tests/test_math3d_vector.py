@@ -1,0 +1,117 @@
+"""Unit and property tests for repro.math3d vectors."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.math3d import Vec2, Vec3, Vec4
+
+finite = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False,
+                   allow_infinity=False)
+
+
+class TestVec2:
+    def test_add_sub(self):
+        assert Vec2(1, 2) + Vec2(3, 4) == Vec2(4, 6)
+        assert Vec2(3, 4) - Vec2(1, 2) == Vec2(2, 2)
+
+    def test_scalar_multiply_both_sides(self):
+        assert Vec2(1, 2) * 3 == Vec2(3, 6)
+        assert 3 * Vec2(1, 2) == Vec2(3, 6)
+
+    def test_negation(self):
+        assert -Vec2(1, -2) == Vec2(-1, 2)
+
+    def test_dot(self):
+        assert Vec2(1, 2).dot(Vec2(3, 4)) == 11
+
+    def test_cross_is_signed_area(self):
+        assert Vec2(1, 0).cross(Vec2(0, 1)) == 1.0
+        assert Vec2(0, 1).cross(Vec2(1, 0)) == -1.0
+
+    def test_length(self):
+        assert Vec2(3, 4).length() == 5.0
+
+    def test_iter_and_tuple(self):
+        assert list(Vec2(1, 2)) == [1, 2]
+        assert Vec2(1, 2).as_tuple() == (1, 2)
+
+    @given(finite, finite, finite, finite)
+    def test_cross_antisymmetry(self, ax, ay, bx, by):
+        a, b = Vec2(ax, ay), Vec2(bx, by)
+        assert a.cross(b) == pytest.approx(-b.cross(a), rel=1e-9, abs=1e-6)
+
+
+class TestVec3:
+    def test_arithmetic(self):
+        assert Vec3(1, 2, 3) + Vec3(4, 5, 6) == Vec3(5, 7, 9)
+        assert Vec3(4, 5, 6) - Vec3(1, 2, 3) == Vec3(3, 3, 3)
+        assert Vec3(1, 2, 3) * 2 == Vec3(2, 4, 6)
+        assert -Vec3(1, 2, 3) == Vec3(-1, -2, -3)
+
+    def test_cross_right_handed(self):
+        assert Vec3(1, 0, 0).cross(Vec3(0, 1, 0)) == Vec3(0, 0, 1)
+        assert Vec3(0, 1, 0).cross(Vec3(0, 0, 1)) == Vec3(1, 0, 0)
+
+    def test_normalized(self):
+        n = Vec3(0, 3, 4).normalized()
+        assert n.length() == pytest.approx(1.0)
+        assert n == Vec3(0, 0.6, 0.8)
+
+    def test_normalized_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            Vec3(0, 0, 0).normalized()
+
+    def test_to_vec4(self):
+        assert Vec3(1, 2, 3).to_vec4() == Vec4(1, 2, 3, 1)
+        assert Vec3(1, 2, 3).to_vec4(0.0) == Vec4(1, 2, 3, 0)
+
+    @given(finite, finite, finite)
+    def test_cross_self_is_zero(self, x, y, z):
+        v = Vec3(x, y, z)
+        cross = v.cross(v)
+        assert cross.length() == pytest.approx(0.0, abs=1e-3)
+
+    @given(finite, finite, finite, finite, finite, finite)
+    def test_cross_orthogonal_to_operands(self, ax, ay, az, bx, by, bz):
+        a, b = Vec3(ax, ay, az), Vec3(bx, by, bz)
+        c = a.cross(b)
+        scale = max(a.length() * b.length(), 1.0)
+        assert c.dot(a) / (scale * max(c.length(), 1.0)) == pytest.approx(
+            0.0, abs=1e-6
+        )
+
+
+class TestVec4:
+    def test_arithmetic(self):
+        assert Vec4(1, 2, 3, 4) + Vec4(1, 1, 1, 1) == Vec4(2, 3, 4, 5)
+        assert Vec4(2, 3, 4, 5) - Vec4(1, 1, 1, 1) == Vec4(1, 2, 3, 4)
+        assert Vec4(1, 2, 3, 4) * 2 == Vec4(2, 4, 6, 8)
+
+    def test_dot(self):
+        assert Vec4(1, 2, 3, 4).dot(Vec4(4, 3, 2, 1)) == 20
+
+    def test_perspective_divide(self):
+        assert Vec4(2, 4, 6, 2).perspective_divide() == Vec3(1, 2, 3)
+
+    def test_perspective_divide_zero_w_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            Vec4(1, 1, 1, 0).perspective_divide()
+
+    def test_default_w_is_one(self):
+        assert Vec4().w == 1.0
+
+    def test_xyz(self):
+        assert Vec4(1, 2, 3, 4).xyz() == Vec3(1, 2, 3)
+
+
+class TestImmutability:
+    def test_vectors_are_frozen(self):
+        for v in (Vec2(1, 2), Vec3(1, 2, 3), Vec4(1, 2, 3, 4)):
+            with pytest.raises(Exception):
+                v.x = 99.0
+
+    def test_vectors_hashable(self):
+        assert len({Vec3(1, 2, 3), Vec3(1, 2, 3), Vec3(0, 0, 0)}) == 2

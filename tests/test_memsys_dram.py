@@ -1,0 +1,66 @@
+"""Tests for the DRAM channel model."""
+
+import pytest
+
+from repro import GPUConfig, MemoryModelError
+from repro.memsys import DRAMChannelModel
+
+
+@pytest.fixture
+def dram():
+    return DRAMChannelModel(GPUConfig.default())
+
+
+class TestAccounting:
+    def test_read_write_bytes(self, dram):
+        dram.read(128)
+        dram.write(256)
+        assert dram.stats.read_bytes == 128
+        assert dram.stats.write_bytes == 256
+        assert dram.stats.total_bytes == 384
+
+    def test_requests_round_up_to_lines(self, dram):
+        dram.read(1)
+        assert dram.stats.read_requests == 1
+        dram.read(65)
+        assert dram.stats.read_requests == 3  # 1 + 2
+
+    def test_line_helpers(self, dram):
+        dram.read_lines(3)
+        dram.write_lines(2)
+        assert dram.stats.read_bytes == 3 * 64
+        assert dram.stats.write_bytes == 2 * 64
+        dram.read_lines(0)  # no-op
+        assert dram.stats.read_bytes == 3 * 64
+
+    def test_invalid_sizes(self, dram):
+        with pytest.raises(MemoryModelError):
+            dram.read(0)
+        with pytest.raises(MemoryModelError):
+            dram.write(-4)
+
+    def test_reset(self, dram):
+        dram.read(64)
+        dram.reset_stats()
+        assert dram.stats.total_bytes == 0
+        assert dram.cycles() == 0.0
+
+
+class TestCycleModel:
+    def test_bandwidth_bound_for_streaming(self, dram):
+        # Large transfer: bandwidth term dominates.
+        dram.write(4096)
+        expected_bandwidth_cycles = 4096 / 4  # 4 B/cycle
+        assert dram.cycles() == pytest.approx(expected_bandwidth_cycles)
+
+    def test_cycles_monotonic_in_traffic(self, dram):
+        dram.read(64)
+        before = dram.cycles()
+        dram.read(6400)
+        assert dram.cycles() > before
+
+    def test_snapshot(self, dram):
+        dram.read(64)
+        snap = dram.snapshot()
+        assert snap["read_requests"] == 1
+        assert snap["read_bytes"] == 64

@@ -1,0 +1,112 @@
+"""Tests for the timing model: stats counters and the cost model."""
+
+import dataclasses
+
+import pytest
+
+from repro import GPUConfig
+from repro.timing import CostModel, CostParameters, FrameStats, StatsAccumulator
+
+
+class TestFrameStats:
+    def test_defaults_zero(self):
+        stats = FrameStats()
+        assert all(
+            getattr(stats, field.name) == 0
+            for field in dataclasses.fields(stats)
+        )
+
+    def test_merge_sums_everything(self):
+        a = FrameStats(fragments_shaded=10, tiles_rendered=2)
+        b = FrameStats(fragments_shaded=5, tiles_rendered=1, early_z_kills=7)
+        a.merge(b)
+        assert a.fragments_shaded == 15
+        assert a.tiles_rendered == 3
+        assert a.early_z_kills == 7
+
+    def test_merge_returns_self(self):
+        a = FrameStats()
+        assert a.merge(FrameStats()) is a
+
+    def test_as_dict_roundtrip(self):
+        stats = FrameStats(fragments_shaded=3)
+        assert stats.as_dict()["fragments_shaded"] == 3
+
+    def test_overshading_ratio(self):
+        stats = FrameStats(fragments_shaded=20, overdrawn_fragments=10)
+        assert stats.overshading_ratio == 2.0
+        assert FrameStats().overshading_ratio == 0.0
+
+
+class TestStatsAccumulator:
+    def test_total(self):
+        acc = StatsAccumulator()
+        acc.add(FrameStats(fragments_shaded=1))
+        acc.add(FrameStats(fragments_shaded=2))
+        assert acc.total().fragments_shaded == 3
+        assert len(acc) == 2
+
+    def test_totals_excluding_first(self):
+        acc = StatsAccumulator()
+        acc.add(FrameStats(fragments_shaded=100))
+        acc.add(FrameStats(fragments_shaded=1))
+        assert acc.totals_excluding_first().fragments_shaded == 1
+
+    def test_excluding_first_with_single_frame_keeps_it(self):
+        acc = StatsAccumulator()
+        acc.add(FrameStats(fragments_shaded=5))
+        assert acc.totals_excluding_first().fragments_shaded == 5
+
+
+class TestCostModel:
+    @pytest.fixture
+    def model(self):
+        return CostModel(GPUConfig.default())
+
+    def test_empty_stats_cost_zero(self, model):
+        stats = FrameStats()
+        assert model.geometry_cycles(stats) == 0.0
+        assert model.raster_cycles(stats) == 0.0
+
+    def test_geometry_scales_with_vertex_work(self, model):
+        small = FrameStats(vertex_instructions=100)
+        big = FrameStats(vertex_instructions=1000)
+        assert model.geometry_cycles(big) > model.geometry_cycles(small)
+
+    def test_fragment_processors_divide_shading(self):
+        config = GPUConfig.default()
+        one = CostModel(config.scaled(fragment_processors=1))
+        four = CostModel(config)
+        stats = FrameStats(fragment_instructions=4000)
+        assert one.raster_cycles(stats) == pytest.approx(
+            4 * four.raster_cycles(stats)
+        )
+
+    def test_signature_updates_cost_geometry_cycles(self, model):
+        without = FrameStats()
+        with_sig = FrameStats(signature_updates=100)
+        assert model.geometry_cycles(with_sig) > model.geometry_cycles(without)
+
+    def test_dram_stalls_partially_exposed(self, model):
+        stats = FrameStats()
+        assert model.geometry_cycles(stats, dram_cycles=1000.0) == pytest.approx(
+            1000.0 * model.params.memory_stall_exposure
+            * model.params.geometry_scale
+        )
+
+    def test_breakdown_total(self, model):
+        stats = FrameStats(vertex_instructions=10, fragment_instructions=40)
+        breakdown = model.breakdown(stats)
+        assert breakdown.total == breakdown.geometry + breakdown.raster
+
+    def test_seconds(self, model):
+        assert model.seconds(400e6) == pytest.approx(1.0)
+
+    def test_custom_parameters(self):
+        config = GPUConfig.default()
+        expensive = CostModel(
+            config, CostParameters(signature_update_cycles=100.0)
+        )
+        cheap = CostModel(config, CostParameters(signature_update_cycles=1.0))
+        stats = FrameStats(signature_updates=10)
+        assert expensive.geometry_cycles(stats) > cheap.geometry_cycles(stats)

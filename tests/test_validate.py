@@ -1,0 +1,45 @@
+"""Tests for the cross-mode validation utility."""
+
+import pytest
+
+from repro import GPUConfig
+from repro.scenes import benchmark_stream
+from repro.validate import ValidationReport, validate_stream
+
+
+class TestValidationReport:
+    def test_empty_report_passes(self):
+        report = ValidationReport(frames=3)
+        assert report.passed
+
+    def test_failure_recorded(self):
+        report = ValidationReport(frames=3)
+        report.record("good", True)
+        report.record("bad", False)
+        assert not report.passed
+        assert report.failures == ["bad"]
+        rendered = report.render()
+        assert "[ok] good" in rendered
+        assert "[FAIL] bad" in rendered
+        assert "1/2 checks passed" in rendered
+
+
+class TestValidateStream:
+    def test_benchmark_passes(self):
+        config = GPUConfig.tiny(frames=4)
+        stream = benchmark_stream("cde", config)
+        report = validate_stream(stream, config)
+        assert report.passed, report.render()
+        assert len(report.checks) == 6
+
+    def test_3d_benchmark_passes(self):
+        config = GPUConfig.tiny(frames=4)
+        stream = benchmark_stream("tib", config)
+        report = validate_stream(stream, config)
+        assert report.passed, report.render()
+
+    def test_cli_exit_code(self):
+        from repro.cli import main
+        code = main(["validate", "hop", "--frames", "3",
+                     "--width", "64", "--height", "48"])
+        assert code == 0
