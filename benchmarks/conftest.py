@@ -12,6 +12,10 @@ Environment knobs:
   the suite (default: all 20).
 * ``REPRO_BENCH_WIDTH`` / ``REPRO_BENCH_HEIGHT`` — screen size (default
   192x160; use 1196x768 for the paper's full resolution).
+* ``REPRO_JOBS`` — worker processes for the suite fan-out (default 1 =
+  serial; results are bit-identical either way).
+* ``REPRO_CACHE_DIR`` — persistent run-cache directory; set
+  ``REPRO_BENCH_CACHE=0`` to disable disk caching entirely.
 
 Rendered tables are printed to the terminal (bypassing capture) and
 saved under ``benchmarks/results/``.
@@ -25,6 +29,8 @@ from typing import List, Optional
 import pytest
 
 from repro import GPUConfig
+from repro.config import default_jobs
+from repro.engine import default_cache_dir
 from repro.harness.runner import SuiteRunner
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
@@ -45,8 +51,15 @@ def bench_subset() -> Optional[List[str]]:
 
 
 @pytest.fixture(scope="session")
-def suite_runner() -> SuiteRunner:
-    return SuiteRunner(bench_config())
+def suite_runner():
+    cache_dir = (
+        None if os.environ.get("REPRO_BENCH_CACHE", "1") == "0"
+        else default_cache_dir()
+    )
+    with SuiteRunner(bench_config(), jobs=default_jobs(),
+                     cache_dir=cache_dir) as runner:
+        yield runner
+        print(f"\n{runner.cache_summary()}")
 
 
 @pytest.fixture(scope="session")

@@ -9,6 +9,11 @@ Subcommands:
 * ``render`` — render a benchmark's frames to PPM images.
 * ``report`` — paper-vs-measured markdown report (EXPERIMENTS.md body).
 * ``validate`` — cross-mode pixel-equality and invariant checks.
+* ``cache`` — inspect or clear the persistent run cache.
+
+``run``, ``figure`` and ``report`` accept ``--jobs N`` (or the
+``REPRO_JOBS`` environment variable) to fan independent simulations out
+over worker processes; results are bit-identical to serial runs.
 """
 
 from __future__ import annotations
@@ -18,7 +23,8 @@ import os
 import sys
 from typing import List, Optional
 
-from .config import GPUConfig
+from .config import GPUConfig, default_jobs
+from .engine import DiskCache, default_cache_dir, make_scheduler
 from .harness import (
     ablation_draw_order,
     ablation_history,
@@ -54,16 +60,16 @@ _FIGURES = {
     "fig10": figure10_energy_vs_re,
     "fig11": figure11_time_vs_re,
     "ablation-point": lambda runner, subset: ablation_prediction_point(
-        runner.config, benchmarks=subset or ("tib", "ata")
+        runner.config, benchmarks=subset or ("tib", "ata"), jobs=runner.jobs
     ),
     "ablation-history": lambda runner, subset: ablation_history(
-        runner.config, benchmarks=subset or ("tib", "ata")
+        runner.config, benchmarks=subset or ("tib", "ata"), jobs=runner.jobs
     ),
     "ablation-order": lambda runner, subset: ablation_draw_order(
-        runner.config
+        runner.config, jobs=runner.jobs
     ),
     "ablation-subtile": lambda runner, subset: ablation_subtile(
-        runner.config, benchmarks=subset or ("tib", "ata")
+        runner.config, benchmarks=subset or ("tib", "ata"), jobs=runner.jobs
     ),
     "balance": lambda runner, subset: pipeline_balance_report(
         runner.config, benchmarks=subset or ("cde", "tib", "300")
@@ -91,6 +97,15 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
                         help="screen height in pixels (paper: 768)")
 
 
+def _add_jobs_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for scheduler fan-out "
+             "(default: $REPRO_JOBS or 1 = serial; "
+             "negative = all CPU cores)",
+    )
+
+
 def _command_list(args: argparse.Namespace) -> int:
     print(table3_suite().render())
     return 0
@@ -102,24 +117,29 @@ def _command_run(args: argparse.Namespace) -> int:
     modes = [PipelineMode(mode) for mode in args.modes]
     rows = []
     baseline_cycles: Optional[float] = None
-    for mode in modes:
-        result = GPU(config, mode).render_stream(stream)
-        if args.csv:
-            path = f"{args.csv.rstrip('.csv')}_{mode.value}.csv"
-            write_csv(frame_series(result), path)
-            print(f"per-frame series -> {path}")
-        cycles = result.total_cycles()
-        if baseline_cycles is None:
-            baseline_cycles = cycles.total
-        rows.append([
-            mode.value,
-            round(cycles.geometry),
-            round(cycles.raster),
-            cycles.total / baseline_cycles,
-            result.total_energy().total * 1e3,
-            result.redundant_tile_rate(),
-            result.shaded_fragments_per_pixel(),
-        ])
+    scheduler = make_scheduler(default_jobs(args.jobs))
+    try:
+        for mode in modes:
+            result = GPU(config, mode,
+                         scheduler=scheduler).render_stream(stream)
+            if args.csv:
+                path = f"{args.csv.rstrip('.csv')}_{mode.value}.csv"
+                write_csv(frame_series(result), path)
+                print(f"per-frame series -> {path}")
+            cycles = result.total_cycles()
+            if baseline_cycles is None:
+                baseline_cycles = cycles.total
+            rows.append([
+                mode.value,
+                round(cycles.geometry),
+                round(cycles.raster),
+                cycles.total / baseline_cycles,
+                result.total_energy().total * 1e3,
+                result.redundant_tile_rate(),
+                result.shaded_fragments_per_pixel(),
+            ])
+    finally:
+        scheduler.close()
     print(format_table(
         ["mode", "geom cyc", "raster cyc", "time vs first",
          "energy (mJ)", "tiles skipped", "frags/px"],
@@ -132,10 +152,12 @@ def _command_run(args: argparse.Namespace) -> int:
 
 def _command_figure(args: argparse.Namespace) -> int:
     config = _config_from_args(args)
-    runner = SuiteRunner(config)
-    subset = args.benchmarks or None
-    result = _FIGURES[args.figure](runner, subset)
-    print(result.render())
+    with SuiteRunner(config, jobs=default_jobs(args.jobs),
+                     cache_dir=default_cache_dir()) as runner:
+        subset = args.benchmarks or None
+        result = _FIGURES[args.figure](runner, subset)
+        print(result.render())
+        print(runner.cache_summary())
     return 0
 
 
@@ -159,13 +181,28 @@ def _command_render(args: argparse.Namespace) -> int:
 
 def _command_report(args: argparse.Namespace) -> int:
     config = _config_from_args(args)
-    report = render_report(SuiteRunner(config))
+    with SuiteRunner(config, jobs=default_jobs(args.jobs),
+                     cache_dir=default_cache_dir()) as runner:
+        report = render_report(runner)
+        summary = runner.cache_summary()
     if args.output:
         with open(args.output, "w") as handle:
             handle.write(report)
         print(f"report written to {args.output}")
     else:
         print(report)
+    print(summary)
+    return 0
+
+
+def _command_cache(args: argparse.Namespace) -> int:
+    cache = DiskCache(args.dir or default_cache_dir())
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cached runs ({cache.directory})")
+    else:  # info
+        print(f"cache directory: {cache.directory}")
+        print(f"cached runs: {cache.size()}")
     return 0
 
 
@@ -200,6 +237,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="pipeline modes to compare (first is the normalization base)",
     )
     _add_config_arguments(run_parser)
+    _add_jobs_argument(run_parser)
 
     figure_parser = subparsers.add_parser(
         "figure", help="regenerate a paper table/figure or an ablation"
@@ -210,6 +248,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="restrict to these benchmark aliases",
     )
     _add_config_arguments(figure_parser)
+    _add_jobs_argument(figure_parser)
 
     render_parser = subparsers.add_parser(
         "render", help="render a benchmark's frames to PPM files"
@@ -226,6 +265,16 @@ def build_parser() -> argparse.ArgumentParser:
     report_parser.add_argument("--output", default="",
                                help="write to a file instead of stdout")
     _add_config_arguments(report_parser)
+    _add_jobs_argument(report_parser)
+
+    cache_parser = subparsers.add_parser(
+        "cache", help="inspect or clear the persistent run cache"
+    )
+    cache_parser.add_argument("action", choices=("info", "clear"))
+    cache_parser.add_argument(
+        "--dir", default="",
+        help="cache directory (default: $REPRO_CACHE_DIR or .repro_cache)",
+    )
 
     validate_parser = subparsers.add_parser(
         "validate",
@@ -244,6 +293,7 @@ _COMMANDS = {
     "render": _command_render,
     "report": _command_report,
     "validate": _command_validate,
+    "cache": _command_cache,
 }
 
 

@@ -15,10 +15,27 @@ of every result.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field, replace
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 from .errors import ConfigError
+
+
+def default_jobs(cli_value: Optional[int] = None) -> int:
+    """Resolve the worker-process count for scheduler fan-out.
+
+    Precedence: an explicit CLI ``--jobs`` value, then the ``REPRO_JOBS``
+    environment variable, then 1 (serial — the historical behaviour).
+    A malformed ``REPRO_JOBS`` is ignored rather than fatal.
+    """
+    if cli_value is not None:
+        return cli_value
+    env = os.environ.get("REPRO_JOBS", "")
+    try:
+        return int(env) if env else 1
+    except ValueError:
+        return 1
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,142 @@
+"""On-disk run cache under ``.repro_cache/``.
+
+Figure and ablation scripts share many underlying (benchmark, mode) runs
+— Figures 6, 7, 10 and 11 all need the BASELINE/RE/EVR suite — but until
+now the memo lived only inside one :class:`SuiteRunner` instance, so every
+*invocation* re-rendered everything.  :class:`DiskCache` persists the
+distilled metrics, keyed by a digest of everything that can change them:
+benchmark, mode, configuration, frame count and the simulator's own source
+code (so a code change can never serve stale numbers).
+
+The cache is deliberately forgiving: a truncated, corrupt or
+version-skewed entry is treated as a miss and recomputed, never an error.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from typing import Any, Optional
+
+_ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+DEFAULT_CACHE_DIRNAME = ".repro_cache"
+
+_code_version_digest: Optional[str] = None
+
+
+def default_cache_dir() -> str:
+    """The cache directory: ``$REPRO_CACHE_DIR`` or ``./.repro_cache``."""
+    return os.environ.get(_ENV_CACHE_DIR) or DEFAULT_CACHE_DIRNAME
+
+
+def code_version() -> str:
+    """Digest of the ``repro`` package's source files.
+
+    Any edit to the simulator invalidates every cached run — the coarse
+    but safe notion of "code version" for a research codebase.  Computed
+    once per process (~150 small files, milliseconds).
+    """
+    global _code_version_digest
+    if _code_version_digest is None:
+        package_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        digest = hashlib.sha256()
+        for dirpath, dirnames, filenames in sorted(os.walk(package_root)):
+            dirnames.sort()
+            for filename in sorted(filenames):
+                if not filename.endswith(".py"):
+                    continue
+                path = os.path.join(dirpath, filename)
+                digest.update(os.path.relpath(path, package_root).encode())
+                with open(path, "rb") as handle:
+                    digest.update(handle.read())
+        _code_version_digest = digest.hexdigest()
+    return _code_version_digest
+
+
+class DiskCache:
+    """A tiny content-addressed pickle store.
+
+    Entries are written atomically (temp file + rename) so a crashed or
+    parallel writer can only ever leave a complete entry or none.
+    """
+
+    def __init__(self, directory: str):
+        self.directory = directory
+
+    # -- keys ---------------------------------------------------------------
+
+    @staticmethod
+    def make_key(*parts: object) -> str:
+        """Digest arbitrary (repr-stable) parts into a cache key."""
+        digest = hashlib.sha256()
+        for part in parts:
+            digest.update(repr(part).encode())
+            digest.update(b"\x00")
+        return digest.hexdigest()
+
+    def path_for(self, key: str) -> str:
+        """Filesystem path of ``key``'s entry (present or not)."""
+        return os.path.join(self.directory, f"{key}.pkl")
+
+    # -- operations ---------------------------------------------------------
+
+    def get(self, key: str) -> Optional[Any]:
+        """The stored value, or None on miss *or* unreadable entry."""
+        path = self.path_for(key)
+        try:
+            with open(path, "rb") as handle:
+                return pickle.load(handle)
+        except FileNotFoundError:
+            return None
+        except Exception:
+            # Truncated/corrupt entry: drop it and recompute.
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+            return None
+
+    def put(self, key: str, value: Any) -> None:
+        """Store ``value`` under ``key`` atomically."""
+        os.makedirs(self.directory, exist_ok=True)
+        fd, tmp_path = tempfile.mkstemp(
+            dir=self.directory, prefix=".tmp_", suffix=".pkl"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_path, self.path_for(key))
+        except BaseException:
+            try:
+                os.remove(tmp_path)
+            except OSError:
+                pass
+            raise
+
+    def clear(self) -> int:
+        """Delete every cache entry; returns the number removed."""
+        removed = 0
+        try:
+            entries = os.listdir(self.directory)
+        except FileNotFoundError:
+            return 0
+        for name in entries:
+            if name.endswith(".pkl"):
+                try:
+                    os.remove(os.path.join(self.directory, name))
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    def size(self) -> int:
+        """Number of stored entries."""
+        try:
+            return sum(
+                1 for name in os.listdir(self.directory)
+                if name.endswith(".pkl") and not name.startswith(".tmp_")
+            )
+        except FileNotFoundError:
+            return 0

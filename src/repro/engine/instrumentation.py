@@ -1,0 +1,66 @@
+"""The unified instrumentation record reduced by the execution engine.
+
+Historically every pipeline phase returned a bare ``Dict[str, Dict[str,
+int]]`` memory snapshot plus a loose ``dram_cycles`` float, and the
+merging logic was duplicated wherever counters met (per-frame, per-run,
+per-energy-model).  :class:`Instrumentation` packages the two together
+and owns the single merge implementation, so serial and parallel
+executions — which reduce per-tile/per-run records in a fixed order —
+produce identical totals by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping
+
+CounterMap = Dict[str, Dict[str, int]]
+
+
+def merge_unit_counters(
+    into: CounterMap, source: Mapping[str, Mapping[str, int]]
+) -> CounterMap:
+    """Accumulate ``source``'s per-unit counters into ``into`` (in place).
+
+    The one shared reducer for ``unit -> counter -> value`` maps: frame
+    results, run totals and the energy model all merge through here.
+    Returns ``into`` for chaining.
+    """
+    for unit, counters in source.items():
+        unit_totals = into.setdefault(unit, {})
+        for key, value in counters.items():
+            unit_totals[key] = unit_totals.get(key, 0) + value
+    return into
+
+
+@dataclass
+class Instrumentation:
+    """Mergeable measurement record for one pipeline phase or tile.
+
+    Attributes:
+        units: per-unit event counters (``"l2" -> {"hits": ...}`` —
+            the memory-system snapshot shape).
+        dram_cycles: DRAM roofline cycles attributable to the phase.
+    """
+
+    units: CounterMap = field(default_factory=dict)
+    dram_cycles: float = 0.0
+
+    @classmethod
+    def capture(cls, memory) -> "Instrumentation":
+        """Snapshot a :class:`~repro.memsys.MemorySystem`'s counters."""
+        return cls(units=memory.snapshot(), dram_cycles=memory.dram.cycles())
+
+    def merge(self, other: "Instrumentation") -> "Instrumentation":
+        """Accumulate ``other`` into this record (in place)."""
+        merge_unit_counters(self.units, other.units)
+        self.dram_cycles += other.dram_cycles
+        return self
+
+    @classmethod
+    def reduce(cls, records: Iterable["Instrumentation"]) -> "Instrumentation":
+        """Merge ``records`` (in iteration order) into a fresh record."""
+        total = cls()
+        for record in records:
+            total.merge(record)
+        return total

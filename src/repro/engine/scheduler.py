@@ -1,0 +1,141 @@
+"""Pluggable schedulers: how the engine fans work out.
+
+A :class:`Scheduler` maps a picklable function over picklable items and
+returns the results *in submission order* — that ordering contract is what
+lets the engine reduce results deterministically regardless of execution
+order.  Two implementations:
+
+* :class:`SerialScheduler` — in-process, in-order; the default, and
+  bit-identical to the historical inline loops.
+* :class:`ProcessPoolScheduler` — a persistent
+  :class:`concurrent.futures.ProcessPoolExecutor`; used for per-frame
+  tile fan-out and for suite-level (benchmark, mode) fan-out.
+
+Both are used through :func:`make_scheduler`, which turns a ``--jobs N``
+style request into the right implementation.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable, List, Optional, Protocol, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+class Scheduler(Protocol):
+    """The engine's execution strategy.
+
+    Implementations must return results in submission order and may
+    assume ``fn`` and every item are picklable (the serial scheduler
+    does not need that property, but callers must not rely on it).
+    """
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
+        """Apply ``fn`` to every item; results in submission order."""
+        ...  # pragma: no cover - protocol
+
+    def close(self) -> None:
+        """Release any held workers (idempotent)."""
+        ...  # pragma: no cover - protocol
+
+
+class SerialScheduler:
+    """Run everything inline, in order — the default execution strategy."""
+
+    jobs = 1
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
+        return [fn(item) for item in items]
+
+    def close(self) -> None:
+        pass
+
+    def __enter__(self) -> "SerialScheduler":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return "SerialScheduler()"
+
+
+class ProcessPoolScheduler:
+    """Fan work out to a persistent pool of worker processes.
+
+    The executor is created lazily (constructing a scheduler is free) and
+    kept alive across :meth:`map` calls so per-frame tile fan-out does not
+    pay process start-up for every frame.  ``fork`` is preferred where
+    available: workers inherit the parent's imports, which matters when a
+    frame's tile jobs are small.
+    """
+
+    def __init__(self, jobs: int, mp_context: Optional[str] = None):
+        if jobs < 2:
+            raise ValueError("ProcessPoolScheduler needs jobs >= 2; "
+                             "use SerialScheduler for jobs=1")
+        self.jobs = jobs
+        self._mp_context = mp_context
+        self._executor: Optional[ProcessPoolExecutor] = None
+
+    def _ensure_executor(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            import multiprocessing
+
+            if self._mp_context is not None:
+                context = multiprocessing.get_context(self._mp_context)
+            elif "fork" in multiprocessing.get_all_start_methods():
+                context = multiprocessing.get_context("fork")
+            else:  # pragma: no cover - Windows/macOS spawn fallback
+                context = multiprocessing.get_context()
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.jobs, mp_context=context
+            )
+        return self._executor
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
+        items = list(items)
+        if not items:
+            return []
+        if len(items) == 1:
+            # One item gains nothing from a round-trip through the pool.
+            return [fn(items[0])]
+        executor = self._ensure_executor()
+        chunksize = max(1, len(items) // (self.jobs * 4))
+        return list(executor.map(fn, items, chunksize=chunksize))
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown()
+            self._executor = None
+
+    def __enter__(self) -> "ProcessPoolScheduler":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def __repr__(self) -> str:
+        return f"ProcessPoolScheduler(jobs={self.jobs})"
+
+
+def make_scheduler(jobs: Optional[int]) -> "Scheduler":
+    """Turn a ``--jobs N`` request into a scheduler.
+
+    ``None``, 0 and 1 mean serial; ``N >= 2`` means a process pool with N
+    workers; negative N means one worker per CPU.
+    """
+    if jobs is not None and jobs < 0:
+        jobs = os.cpu_count() or 1
+    if not jobs or jobs == 1:
+        return SerialScheduler()
+    return ProcessPoolScheduler(jobs)

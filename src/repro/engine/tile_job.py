@@ -1,0 +1,434 @@
+"""Stateless per-tile raster work: the execution engine's unit of labor.
+
+A :class:`TileJob` carries everything needed to render one tile of one
+frame — the tile's drained display list, the configuration and feature
+flags — and nothing else: no GPU, no memory system, no shared buffers.
+Executing it (:func:`execute_tile_job`) is a pure function of the job, so
+jobs can run in any order, in any process, and still produce bit-identical
+results.
+
+Tile-order-dependent side effects are *recorded*, not performed: memory
+traffic is appended to a :class:`MemoryTrace` that the engine replays into
+the real :class:`~repro.memsys.MemorySystem` in tile order, and the
+end-of-tile FVP state (Layer/Z buffers) travels back in the
+:class:`TileResult` for the parent-side predictor.  This is what makes the
+parallel and serial schedulers equal by construction: the compute
+parallelizes, the stateful reduction stays deterministic.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..commands.state import BlendMode
+from ..config import GPUConfig
+from ..hw.buffers import ColorBuffer, LayerBuffer, ZBuffer
+from ..hw.parameter_buffer import POINTER_BYTES, DisplayListEntry
+from ..pipeline.features import PipelineFeatures
+from ..pipeline.rasterizer import rasterize_in_tile
+from ..timing.stats import FrameStats
+
+_ALPHA_OPAQUE = 1.0 - 1e-9
+
+# Memory-trace opcodes (tuples pickle cheaply and replay trivially).
+_OP_PB_READ = "pb_read"
+_OP_TEXTURE = "texture"
+_OP_FLUSH = "flush"
+
+
+class MemoryTrace:
+    """Records the tile-facing :class:`~repro.memsys.MemorySystem` calls.
+
+    Duck-typed stand-in for the memory system inside a tile job: cache
+    and DRAM state are order-dependent across tiles, so jobs log their
+    accesses and the engine replays them in tile order.
+    """
+
+    def __init__(self) -> None:
+        self.ops: List[Tuple] = []
+
+    def parameter_buffer_read(self, offset: int, size: int) -> None:
+        self.ops.append((_OP_PB_READ, offset, size))
+
+    def texture_batch(self, texture_id: int, texture_size: int,
+                      u: np.ndarray, v: np.ndarray,
+                      samples_per_fragment: int = 1) -> None:
+        self.ops.append(
+            (_OP_TEXTURE, texture_id, texture_size, u, v, samples_per_fragment)
+        )
+
+    def framebuffer_flush(self, num_bytes: int) -> None:
+        self.ops.append((_OP_FLUSH, num_bytes))
+
+
+def replay_memory_trace(ops: Sequence[Tuple], memory) -> None:
+    """Replay a job's recorded accesses into the real memory system.
+
+    Called by the engine in tile order, preserving the access sequence the
+    historical inline loop produced — cache hit/miss behaviour and DRAM
+    cycle totals are therefore identical whichever scheduler ran the job.
+    """
+    for op in ops:
+        kind = op[0]
+        if kind == _OP_PB_READ:
+            memory.parameter_buffer_read(op[1], op[2])
+        elif kind == _OP_TEXTURE:
+            memory.texture_batch(op[1], op[2], op[3], op[4], op[5])
+        elif kind == _OP_FLUSH:
+            memory.framebuffer_flush(op[1])
+        else:  # pragma: no cover - trace is produced in-house
+            raise ValueError(f"unknown memory-trace op {kind!r}")
+
+
+@dataclass
+class TileContext:
+    """The per-tile working buffers a job renders into.
+
+    One context per worker is enough: jobs clear the buffers on entry, so
+    contexts are reusable across tiles and frames (exactly how the
+    hardware's on-chip tile memory behaves).
+    """
+
+    z_buffer: ZBuffer
+    color_buffer: ColorBuffer
+    layer_buffer: LayerBuffer
+
+    @classmethod
+    def for_config(cls, config: GPUConfig) -> "TileContext":
+        return cls(
+            z_buffer=ZBuffer(config.tile_width, config.tile_height,
+                             config.clear_depth),
+            color_buffer=ColorBuffer(config.tile_width, config.tile_height,
+                                     config.clear_color),
+            layer_buffer=LayerBuffer(config.tile_width, config.tile_height),
+        )
+
+
+@dataclass
+class TileResult:
+    """Everything a tile job produced, ready for deterministic reduction.
+
+    Attributes:
+        tile: linear tile index.
+        color: the tile's rendered colors (full tile-sized buffer; edge
+            tiles are cropped by the consumer).
+        stats: tile-local counter deltas (merged into the frame's stats).
+        memory_ops: recorded memory accesses, replayed in tile order.
+        tainted: True when a predicted-occluded primitive contributed to
+            the tile's final colors (triggers the signature poison).
+        layer_buffer / z_buffer: end-of-tile FVP inputs (present only
+            when the EVR structures are enabled).
+    """
+
+    tile: int
+    color: np.ndarray
+    stats: FrameStats
+    memory_ops: List[Tuple] = field(default_factory=list)
+    tainted: bool = False
+    layer_buffer: Optional[LayerBuffer] = None
+    z_buffer: Optional[ZBuffer] = None
+
+
+@dataclass
+class TileJob:
+    """A stateless, picklable description of one tile's rendering.
+
+    Attributes:
+        tile: linear tile index.
+        tile_x / tile_y: tile grid coordinates.
+        config: the GPU configuration (immutable, shared).
+        features: the pipeline feature flags (immutable, shared).
+        entries: the tile's display list, already drained into render
+            order (first list then second — Algorithm 1's order).
+        attribute_bytes: Parameter Buffer bytes per primitive record
+            (models the pointer-dereference traffic).
+    """
+
+    tile: int
+    tile_x: int
+    tile_y: int
+    config: GPUConfig
+    features: PipelineFeatures
+    entries: List[DisplayListEntry]
+    attribute_bytes: int
+
+    # -- geometry helpers ---------------------------------------------------
+
+    def _valid_mask(self) -> np.ndarray:
+        """True for tile pixels that are actually on screen (edge tiles
+        of non-divisible resolutions are partial)."""
+        config = self.config
+        x0 = self.tile_x * config.tile_width
+        y0 = self.tile_y * config.tile_height
+        mask = np.ones((config.tile_height, config.tile_width), dtype=bool)
+        overflow_x = x0 + config.tile_width - config.screen_width
+        overflow_y = y0 + config.tile_height - config.screen_height
+        if overflow_x > 0:
+            mask[:, config.tile_width - overflow_x:] = False
+        if overflow_y > 0:
+            mask[config.tile_height - overflow_y:, :] = False
+        return mask
+
+    # -- execution ----------------------------------------------------------
+
+    def run(self, context: Optional[TileContext] = None) -> TileResult:
+        """Render the tile and return its result.
+
+        ``context`` supplies reusable working buffers; omitted, a fresh
+        one is created (convenient in tests).
+        """
+        config = self.config
+        features = self.features
+        if context is None:
+            context = TileContext.for_config(config)
+        memory = MemoryTrace()
+        stats = FrameStats()
+        stats.tiles_rendered += 1
+
+        context.z_buffer.clear()
+        context.color_buffer.clear()
+        if features.uses_layers:
+            context.layer_buffer.clear()
+
+        x0 = self.tile_x * config.tile_width
+        y0 = self.tile_y * config.tile_height
+        valid = self._valid_mask()
+
+        if features.oracle_z:
+            self._oracle_depth_prepass(context, x0, y0, valid)
+        elif features.z_prepass:
+            self._charged_depth_prepass(context, x0, y0, valid, stats)
+
+        # Per-pixel count of shaded contributions not yet made useless by
+        # an opaque overwrite; feeds the overshading metric of Figure 8.
+        pending = np.zeros((config.tile_height, config.tile_width),
+                           dtype=np.int32)
+        # Per-pixel misprediction taint: set when a *predicted-occluded*
+        # primitive contributes to the pixel's final color.  Any taint
+        # left at end of tile poisons the signature (see DESIGN.md,
+        # "Correctness repair").
+        taint = np.zeros((config.tile_height, config.tile_width), dtype=bool)
+
+        for entry in self.entries:
+            self._render_primitive(
+                context, memory, entry, x0, y0, valid, pending, taint, stats
+            )
+
+        flush_bytes = context.color_buffer.byte_size
+        memory.framebuffer_flush(flush_bytes)
+        stats.color_flush_bytes += flush_bytes
+
+        # The context is reused by the next job, so FVP inputs must be
+        # copied out (16x16 arrays — cheap) rather than aliased.
+        layer_buffer = z_buffer = None
+        if features.uses_layers:
+            stats.fvp_updates += 1
+            layer_buffer = copy.deepcopy(context.layer_buffer)
+            z_buffer = copy.deepcopy(context.z_buffer)
+
+        return TileResult(
+            tile=self.tile,
+            color=context.color_buffer.snapshot(),
+            stats=stats,
+            memory_ops=memory.ops,
+            tainted=bool(taint.any()),
+            layer_buffer=layer_buffer,
+            z_buffer=z_buffer,
+        )
+
+    def _render_primitive(
+        self,
+        context: TileContext,
+        memory: MemoryTrace,
+        entry: DisplayListEntry,
+        x0: int,
+        y0: int,
+        valid: np.ndarray,
+        pending: np.ndarray,
+        taint: np.ndarray,
+        stats: FrameStats,
+    ) -> None:
+        config = self.config
+        features = self.features
+        primitive = entry.primitive
+        state = primitive.state
+        z_buffer = context.z_buffer
+        color_buffer = context.color_buffer
+
+        memory.parameter_buffer_read(entry.pointer_offset, POINTER_BYTES)
+        memory.parameter_buffer_read(entry.offset, self.attribute_bytes)
+        stats.display_list_reads += 1
+
+        if (
+            features.hierarchical_z
+            and state.depth_test
+            and primitive.z_near > z_buffer.z_far
+        ):
+            # Top-of-the-Z-pyramid rejection (Section VIII): the whole
+            # primitive is farther than every stored depth, so no
+            # fragment can pass; skip rasterization entirely.  Safe
+            # because unwritten pixels hold the far clear depth.
+            stats.hiz_tests += 1
+            stats.hiz_culled += 1
+            return
+        if features.hierarchical_z and state.depth_test:
+            stats.hiz_tests += 1
+
+        stats.primitives_rasterized += 1
+        stats.raster_attributes += primitive.attribute_count
+
+        batch = rasterize_in_tile(
+            primitive, x0, y0, config.tile_width, config.tile_height
+        )
+        if batch is None:
+            return
+        mask = batch.mask & valid
+        count = int(np.count_nonzero(mask))
+        if count == 0:
+            return
+        stats.fragments_generated += count
+
+        resolved_z = features.oracle_z or features.z_prepass
+        if state.depth_test:
+            passing = z_buffer.test(mask, batch.depth, less_equal=resolved_z)
+            if features.early_z:
+                # Early Depth Test: occluded fragments never reach the
+                # fragment processors.
+                stats.early_z_tests += count
+                stats.early_z_kills += count - int(np.count_nonzero(passing))
+                shaded_mask = passing
+            else:
+                # Late depth test only: everything is shaded, but the
+                # color/depth writes still respect visibility.
+                shaded_mask = mask
+        else:
+            passing = mask
+            shaded_mask = mask
+
+        shaded = int(np.count_nonzero(shaded_mask))
+        if shaded == 0:
+            return
+
+        if primitive.writes_z:
+            stats.depth_writes += z_buffer.write(passing, batch.depth)
+
+        # Fragment shading (cost model + texture traffic).
+        stats.fragments_shaded += shaded
+        shader = state.shader
+        stats.fragment_instructions += shaded * shader.fragment_instructions
+        if shader.texture_fetches:
+            stats.texture_samples += shaded * shader.texture_fetches
+            memory.texture_batch(
+                shader.texture_id,
+                shader.texture_size,
+                batch.u[shaded_mask],
+                batch.v[shaded_mask],
+                shader.texture_fetches,
+            )
+
+        # Blending and overshading accounting (writes gated by the depth
+        # test outcome even when shading was not).
+        if not passing.any():
+            return
+        blend_mode = state.blend
+        if blend_mode is BlendMode.OPAQUE:
+            opaque_mask = passing
+            color_buffer.write(passing, batch.rgba)
+        else:
+            opaque_mask = passing & (batch.rgba[:, :, 3] >= _ALPHA_OPAQUE)
+            color_buffer.blend(passing, batch.rgba)
+        stats.blend_operations += int(np.count_nonzero(passing))
+
+        stats.overdrawn_fragments += int(pending[opaque_mask].sum())
+        pending[opaque_mask] = 1
+        translucent_mask = passing & ~opaque_mask
+        pending[translucent_mask] += 1
+
+        # Misprediction taint: opaque writes replace the pixel's taint,
+        # blended contributions accumulate it.
+        taint[opaque_mask] = entry.predicted_occluded
+        if entry.predicted_occluded:
+            taint[translucent_mask] = True
+
+        if features.uses_layers and opaque_mask.any():
+            written = context.layer_buffer.write(
+                opaque_mask, entry.layer, primitive.writes_z
+            )
+            stats.layer_buffer_writes += written
+
+    # -- charged Z pre-pass -------------------------------------------------
+
+    def _charged_depth_prepass(self, context: TileContext, x0: int, y0: int,
+                               valid: np.ndarray, stats: FrameStats) -> None:
+        """Depth-only first pass over the tile's WOZ geometry, with the
+        real costs the paper attributes to software Z-prepass (Section
+        IV-A): every primitive is rasterized again, every fragment is
+        depth-tested again and the Z-buffer is written — only fragment
+        *shading* is saved for the second pass.
+        """
+        for entry in self.entries:
+            primitive = entry.primitive
+            if not (primitive.writes_z and primitive.state.depth_test):
+                continue
+            stats.prepass_primitives += 1
+            batch = rasterize_in_tile(
+                primitive, x0, y0,
+                self.config.tile_width, self.config.tile_height,
+            )
+            if batch is None:
+                continue
+            mask = batch.mask & valid
+            count = int(np.count_nonzero(mask))
+            if count == 0:
+                continue
+            stats.prepass_fragments += count
+            closer = context.z_buffer.test(mask, batch.depth)
+            stats.prepass_depth_writes += context.z_buffer.write(
+                closer, batch.depth
+            )
+
+    # -- oracle Z pre-pass --------------------------------------------------
+
+    def _oracle_depth_prepass(self, context: TileContext, x0: int, y0: int,
+                              valid: np.ndarray) -> None:
+        """Fill the Z-buffer with the tile's final depths, for free.
+
+        Models Figure 8's oracle: perfect visibility information in the
+        Z-buffer before the tile executes.  Only WOZ primitives determine
+        final depths.
+        """
+        for entry in self.entries:
+            primitive = entry.primitive
+            if not primitive.writes_z:
+                continue
+            batch = rasterize_in_tile(
+                primitive, x0, y0,
+                self.config.tile_width, self.config.tile_height,
+            )
+            if batch is None:
+                continue
+            mask = batch.mask & valid
+            if not mask.any():
+                continue
+            closer = context.z_buffer.test(mask, batch.depth)
+            context.z_buffer.write(closer, batch.depth)
+
+
+# Worker-side context cache: one set of tile buffers per (geometry, clear)
+# signature per process, mirroring the hardware's reusable on-chip memory.
+_CONTEXT_CACHE: dict = {}
+
+
+def execute_tile_job(job: TileJob) -> TileResult:
+    """Module-level job entry point (picklable for process pools)."""
+    key = (job.config.tile_width, job.config.tile_height,
+           job.config.clear_depth, job.config.clear_color)
+    context = _CONTEXT_CACHE.get(key)
+    if context is None:
+        context = TileContext.for_config(job.config)
+        _CONTEXT_CACHE[key] = context
+    return job.run(context)

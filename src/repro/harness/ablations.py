@@ -22,6 +22,7 @@ from __future__ import annotations
 from typing import List, Optional, Sequence
 
 from ..config import GPUConfig
+from ..engine.scheduler import make_scheduler
 from ..math3d import Vec3, Vec4
 from ..pipeline import GPU, PipelineFeatures, PipelineMode
 from ..scenes import BoxSpec, LinearOscillation, Scene3D, benchmark_stream
@@ -44,24 +45,30 @@ def _evr_features(**overrides: object) -> PipelineFeatures:
 def ablation_prediction_point(
     config: Optional[GPUConfig] = None,
     benchmarks: Sequence[str] = _DEFAULT_3D,
+    jobs: Optional[int] = None,
 ) -> ExperimentResult:
     """Conservatism of the predicted depth: near vs centroid vs far."""
     config = config or GPUConfig.default()
     rows: List[List[object]] = []
-    for alias in benchmarks:
-        stream = benchmark_stream(alias, config)
-        for point in ("near", "centroid", "far"):
-            gpu = GPU(config, _evr_features(prediction_point=point))
-            result = gpu.render_stream(stream)
-            stats = result.total_stats()
-            rows.append([
-                alias,
-                point,
-                stats.predicted_occluded / max(stats.predictions_made, 1),
-                result.redundant_tile_rate(),
-                stats.signature_poisons,
-                result.shaded_fragments_per_pixel(),
-            ])
+    scheduler = make_scheduler(jobs)
+    try:
+        for alias in benchmarks:
+            stream = benchmark_stream(alias, config)
+            for point in ("near", "centroid", "far"):
+                gpu = GPU(config, _evr_features(prediction_point=point),
+                          scheduler=scheduler)
+                result = gpu.render_stream(stream)
+                stats = result.total_stats()
+                rows.append([
+                    alias,
+                    point,
+                    stats.predicted_occluded / max(stats.predictions_made, 1),
+                    result.redundant_tile_rate(),
+                    stats.signature_poisons,
+                    result.shaded_fragments_per_pixel(),
+                ])
+    finally:
+        scheduler.close()
     return ExperimentResult(
         "Ablation A1",
         "Prediction point: conservative Z_near vs centroid vs Z_far",
@@ -75,23 +82,29 @@ def ablation_history(
     config: Optional[GPUConfig] = None,
     benchmarks: Sequence[str] = _DEFAULT_3D,
     depths: Sequence[int] = (1, 2, 3),
+    jobs: Optional[int] = None,
 ) -> ExperimentResult:
     """FVP history depth: previous frame only (paper) vs last k frames."""
     config = config or GPUConfig.default()
     rows: List[List[object]] = []
-    for alias in benchmarks:
-        stream = benchmark_stream(alias, config)
-        for depth in depths:
-            gpu = GPU(config, _evr_features(fvp_history=depth))
-            result = gpu.render_stream(stream)
-            stats = result.total_stats()
-            rows.append([
-                alias,
-                depth,
-                stats.predicted_occluded / max(stats.predictions_made, 1),
-                result.redundant_tile_rate(),
-                stats.signature_poisons,
-            ])
+    scheduler = make_scheduler(jobs)
+    try:
+        for alias in benchmarks:
+            stream = benchmark_stream(alias, config)
+            for depth in depths:
+                gpu = GPU(config, _evr_features(fvp_history=depth),
+                          scheduler=scheduler)
+                result = gpu.render_stream(stream)
+                stats = result.total_stats()
+                rows.append([
+                    alias,
+                    depth,
+                    stats.predicted_occluded / max(stats.predictions_made, 1),
+                    result.redundant_tile_rate(),
+                    stats.signature_poisons,
+                ])
+    finally:
+        scheduler.close()
     return ExperimentResult(
         "Ablation A2",
         "FVP history depth: 1 frame (paper) vs k-frame conservative merge",
@@ -103,6 +116,7 @@ def ablation_history(
 def ablation_subtile(
     config: Optional[GPUConfig] = None,
     benchmarks: Sequence[str] = _DEFAULT_3D,
+    jobs: Optional[int] = None,
 ) -> ExperimentResult:
     """FVP granularity: one FVP per tile (paper) vs 2x2 quadrant FVPs.
 
@@ -115,19 +129,24 @@ def ablation_subtile(
     """
     config = config or GPUConfig.default()
     rows: List[List[object]] = []
-    for alias in benchmarks:
-        stream = benchmark_stream(alias, config)
-        for label, flag in (("tile", False), ("2x2-subtile", True)):
-            gpu = GPU(config, _evr_features(subtile_fvp=flag))
-            result = gpu.render_stream(stream)
-            stats = result.total_stats()
-            rows.append([
-                alias,
-                label,
-                stats.predicted_occluded / max(stats.predictions_made, 1),
-                result.redundant_tile_rate(),
-                result.shaded_fragments_per_pixel(),
-            ])
+    scheduler = make_scheduler(jobs)
+    try:
+        for alias in benchmarks:
+            stream = benchmark_stream(alias, config)
+            for label, flag in (("tile", False), ("2x2-subtile", True)):
+                gpu = GPU(config, _evr_features(subtile_fvp=flag),
+                          scheduler=scheduler)
+                result = gpu.render_stream(stream)
+                stats = result.total_stats()
+                rows.append([
+                    alias,
+                    label,
+                    stats.predicted_occluded / max(stats.predictions_made, 1),
+                    result.redundant_tile_rate(),
+                    result.shaded_fragments_per_pixel(),
+                ])
+    finally:
+        scheduler.close()
     return ExperimentResult(
         "Ablation A4",
         "FVP granularity: per-tile (paper) vs 2x2 sub-tile",
@@ -163,7 +182,8 @@ def _slab_scene(config: GPUConfig, draw_order: str) -> Scene3D:
     )
 
 
-def ablation_draw_order(config: Optional[GPUConfig] = None) -> ExperimentResult:
+def ablation_draw_order(config: Optional[GPUConfig] = None,
+                        jobs: Optional[int] = None) -> ExperimentResult:
     """Submission-order sensitivity, with and without EVR reordering.
 
     The baseline's shaded-fragment count should swing wildly between
@@ -174,14 +194,19 @@ def ablation_draw_order(config: Optional[GPUConfig] = None) -> ExperimentResult:
     config = config or GPUConfig.default()
     rows: List[List[object]] = []
     spread: dict = {}
-    for order in ("front_to_back", "submission", "back_to_front"):
-        stream = _slab_scene(config, order).stream(config.frames)
-        for mode, label in ((PipelineMode.BASELINE, "baseline"),
-                            (PipelineMode.EVR_REORDER_ONLY, "evr")):
-            result = GPU(config, mode).render_stream(stream)
-            frags = result.shaded_fragments_per_pixel()
-            rows.append([order, label, frags])
-            spread.setdefault(label, []).append(frags)
+    scheduler = make_scheduler(jobs)
+    try:
+        for order in ("front_to_back", "submission", "back_to_front"):
+            stream = _slab_scene(config, order).stream(config.frames)
+            for mode, label in ((PipelineMode.BASELINE, "baseline"),
+                                (PipelineMode.EVR_REORDER_ONLY, "evr")):
+                result = GPU(config, mode,
+                             scheduler=scheduler).render_stream(stream)
+                frags = result.shaded_fragments_per_pixel()
+                rows.append([order, label, frags])
+                spread.setdefault(label, []).append(frags)
+    finally:
+        scheduler.close()
     summary = {
         f"{label}_spread": max(values) - min(values)
         for label, values in spread.items()

@@ -114,6 +114,8 @@ def figure6_energy(runner: Optional[SuiteRunner] = None,
     """
     runner = runner or SuiteRunner()
     names = list(benchmarks or benchmark_names())
+    # One fan-out for every run this figure needs (parallel under --jobs).
+    runner.prefetch(names, [PipelineMode.BASELINE, PipelineMode.EVR])
     rows: List[List[object]] = []
     normalized: List[float] = []
     for name in names:
@@ -148,6 +150,8 @@ def figure7_time(runner: Optional[SuiteRunner] = None,
     Geometry and Raster pipeline cycles."""
     runner = runner or SuiteRunner()
     names = list(benchmarks or benchmark_names())
+    # One fan-out for every run this figure needs (parallel under --jobs).
+    runner.prefetch(names, [PipelineMode.BASELINE, PipelineMode.EVR])
     rows: List[List[object]] = []
     normalized: List[float] = []
     for name in names:
@@ -181,6 +185,8 @@ def figure8_overshading(runner: Optional[SuiteRunner] = None,
     """
     runner = runner or SuiteRunner()
     names = list(benchmarks or benchmark_names("3D"))
+    # One fan-out for every run this figure needs (parallel under --jobs).
+    runner.prefetch(names, [PipelineMode.BASELINE, PipelineMode.EVR_REORDER_ONLY, PipelineMode.ORACLE])
     rows: List[List[object]] = []
     reductions: List[float] = []
     for name in names:
@@ -213,6 +219,8 @@ def figure9_redundant_tiles(runner: Optional[SuiteRunner] = None,
     and the pixel-exact oracle."""
     runner = runner or SuiteRunner()
     names = list(benchmarks or benchmark_names())
+    # One fan-out for every run this figure needs (parallel under --jobs).
+    runner.prefetch(names, [PipelineMode.RE, PipelineMode.EVR, PipelineMode.ORACLE])
     rows: List[List[object]] = []
     re_rates: List[float] = []
     evr_rates: List[float] = []
@@ -250,6 +258,8 @@ def figure10_energy_vs_re(runner: Optional[SuiteRunner] = None,
     """Figure 10: EVR energy normalized to the RE GPU."""
     runner = runner or SuiteRunner()
     names = list(benchmarks or benchmark_names())
+    # One fan-out for every run this figure needs (parallel under --jobs).
+    runner.prefetch(names, [PipelineMode.RE, PipelineMode.EVR])
     rows: List[List[object]] = []
     normalized: List[float] = []
     for name in names:
@@ -276,6 +286,8 @@ def figure11_time_vs_re(runner: Optional[SuiteRunner] = None,
     split into Geometry and Raster cycles."""
     runner = runner or SuiteRunner()
     names = list(benchmarks or benchmark_names())
+    # One fan-out for every run this figure needs (parallel under --jobs).
+    runner.prefetch(names, [PipelineMode.BASELINE, PipelineMode.RE, PipelineMode.EVR])
     rows: List[List[object]] = []
     re_norms: List[float] = []
     evr_norms: List[float] = []

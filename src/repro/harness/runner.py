@@ -2,17 +2,28 @@
 
 This is the outer loop of the evaluation: for a (benchmark, mode) pair it
 builds the scene stream, renders it on a fresh GPU instance and extracts
-the scalar metrics every figure consumes.  Runs are memoized per harness
-instance because several figures share the same underlying runs (e.g.
-Figures 6, 7, 10 and 11 all need BASELINE/RE/EVR runs).
+the scalar metrics every figure consumes.  Three layers of reuse stack on
+top of each other:
+
+* an in-memory memo per :class:`SuiteRunner` instance (several figures
+  share the same underlying runs — Figures 6, 7, 10 and 11 all need
+  BASELINE/RE/EVR);
+* an optional on-disk cache under ``.repro_cache/`` keyed by (benchmark,
+  mode, config, frames, code-version), so a *second invocation* of any
+  figure script reuses the first one's runs without constructing a GPU;
+* an optional :class:`~repro.engine.ProcessPoolScheduler` fan-out, so the
+  independent (benchmark, mode) simulations of a suite sweep run in
+  parallel (``--jobs N`` / ``REPRO_JOBS``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..config import GPUConfig
+from ..engine.diskcache import DiskCache, code_version
+from ..engine.scheduler import Scheduler, make_scheduler
 from ..pipeline import GPU, PipelineMode, RunResult
 from ..scenes import benchmark_names, benchmark_stream
 
@@ -80,40 +91,162 @@ def run_benchmark(
     mode: PipelineMode,
     config: Optional[GPUConfig] = None,
     frames: Optional[int] = None,
+    scheduler: Optional[Scheduler] = None,
 ) -> RunMetrics:
-    """Render one benchmark under one mode and return its metrics."""
+    """Render one benchmark under one mode and return its metrics.
+
+    ``scheduler`` optionally fans the per-frame tile work out (see
+    :mod:`repro.engine`); metrics are identical whichever scheduler runs.
+    """
     config = config or GPUConfig.default()
     stream = benchmark_stream(benchmark, config, frames)
-    gpu = GPU(config, mode)
+    gpu = GPU(config, mode, scheduler=scheduler)
     result = gpu.render_stream(stream)
     return metrics_from_result(benchmark, mode, result)
 
 
+def _run_pair(
+    payload: Tuple[str, PipelineMode, GPUConfig, Optional[int]]
+) -> RunMetrics:
+    """Process-pool entry point for one (benchmark, mode) simulation."""
+    benchmark, mode, config, frames = payload
+    return run_benchmark(benchmark, mode, config, frames)
+
+
 class SuiteRunner:
-    """Memoizing runner shared by all experiment functions."""
+    """Memoizing runner shared by all experiment functions.
+
+    Args:
+        config: simulation configuration (default: the scaled config).
+        frames: frame-count override passed to the scene generators.
+        jobs: worker processes for suite-level fan-out; ``None``/1 runs
+            serially, exactly as before.
+        cache_dir: directory of the persistent run cache; ``None``
+            disables disk caching (the in-memory memo always applies).
+    """
 
     def __init__(self, config: Optional[GPUConfig] = None,
-                 frames: Optional[int] = None):
+                 frames: Optional[int] = None,
+                 jobs: Optional[int] = None,
+                 cache_dir: Optional[str] = None):
         self.config = config or GPUConfig.default()
         self.frames = frames
+        self.jobs = jobs or 1
         self._cache: Dict[Tuple[str, PipelineMode], RunMetrics] = {}
+        self._disk = DiskCache(cache_dir) if cache_dir else None
+        self._scheduler: Optional[Scheduler] = None
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def _suite_scheduler(self) -> Scheduler:
+        if self._scheduler is None:
+            self._scheduler = make_scheduler(self.jobs)
+        return self._scheduler
+
+    def close(self) -> None:
+        """Release pooled workers (idempotent; serial runners are free)."""
+        if self._scheduler is not None:
+            self._scheduler.close()
+            self._scheduler = None
+
+    def __enter__(self) -> "SuiteRunner":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- disk cache ---------------------------------------------------------
+
+    def _disk_key(self, benchmark: str, mode: PipelineMode) -> str:
+        return DiskCache.make_key(
+            benchmark, mode.value, self.config, self.frames, code_version()
+        )
+
+    def _load_cached(self, benchmark: str,
+                     mode: PipelineMode) -> Optional[RunMetrics]:
+        if self._disk is None:
+            return None
+        value = self._disk.get(self._disk_key(benchmark, mode))
+        if isinstance(value, RunMetrics):
+            self.cache_hits += 1
+            return value
+        return None
+
+    def _store(self, key: Tuple[str, PipelineMode],
+               metrics: RunMetrics, to_disk: bool) -> None:
+        self._cache[key] = metrics
+        if to_disk and self._disk is not None:
+            self._disk.put(self._disk_key(*key), metrics)
+
+    def cache_summary(self) -> str:
+        """One-line disk-cache report for script output."""
+        if self._disk is None:
+            return "run cache: disabled"
+        return (f"run cache: {self.cache_hits} hits, "
+                f"{self.cache_misses} misses ({self._disk.directory})")
+
+    # -- running ------------------------------------------------------------
 
     def run(self, benchmark: str, mode: PipelineMode) -> RunMetrics:
         key = (benchmark, mode)
         if key not in self._cache:
-            self._cache[key] = run_benchmark(
-                benchmark, mode, self.config, self.frames
-            )
+            cached = self._load_cached(benchmark, mode)
+            if cached is not None:
+                self._cache[key] = cached
+            else:
+                self.cache_misses += 1
+                self._store(
+                    key,
+                    run_benchmark(benchmark, mode, self.config, self.frames),
+                    to_disk=True,
+                )
         return self._cache[key]
 
     def run_many(
         self, benchmarks: Sequence[str], modes: Sequence[PipelineMode]
     ) -> Dict[Tuple[str, str], RunMetrics]:
-        out: Dict[Tuple[str, str], RunMetrics] = {}
-        for benchmark in benchmarks:
-            for mode in modes:
-                out[(benchmark, mode.value)] = self.run(benchmark, mode)
-        return out
+        """Run the (benchmark, mode) cross product, fanning uncached pairs
+        out through the suite scheduler when ``jobs > 1``."""
+        pairs = [(benchmark, mode) for benchmark in benchmarks
+                 for mode in modes]
+        missing: List[Tuple[str, PipelineMode]] = []
+        for key in pairs:
+            if key in self._cache:
+                continue
+            cached = self._load_cached(*key)
+            if cached is not None:
+                self._cache[key] = cached
+            else:
+                missing.append(key)
+
+        if missing:
+            self.cache_misses += len(missing)
+            if self.jobs > 1 and len(missing) > 1:
+                payloads = [
+                    (benchmark, mode, self.config, self.frames)
+                    for benchmark, mode in missing
+                ]
+                results = self._suite_scheduler().map(_run_pair, payloads)
+                for key, metrics in zip(missing, results):
+                    self._store(key, metrics, to_disk=True)
+            else:
+                for benchmark, mode in missing:
+                    self._store(
+                        (benchmark, mode),
+                        run_benchmark(benchmark, mode, self.config,
+                                      self.frames),
+                        to_disk=True,
+                    )
+
+        return {
+            (benchmark, mode.value): self._cache[(benchmark, mode)]
+            for benchmark, mode in pairs
+        }
+
+    # Alias that reads naturally at figure-function call sites.
+    prefetch = run_many
 
 
 def run_suite(
@@ -121,7 +254,9 @@ def run_suite(
     config: Optional[GPUConfig] = None,
     frames: Optional[int] = None,
     benchmarks: Optional[Sequence[str]] = None,
+    jobs: Optional[int] = None,
+    cache_dir: Optional[str] = None,
 ) -> Dict[Tuple[str, str], RunMetrics]:
     """Run (a subset of) the 20-benchmark suite under several modes."""
-    runner = SuiteRunner(config, frames)
-    return runner.run_many(benchmarks or benchmark_names(), modes)
+    with SuiteRunner(config, frames, jobs=jobs, cache_dir=cache_dir) as runner:
+        return runner.run_many(benchmarks or benchmark_names(), modes)

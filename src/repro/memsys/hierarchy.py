@@ -219,6 +219,19 @@ class MemorySystem:
         self.l2.reset_stats()
         self.dram.reset_stats()
 
+    def instrumentation(self):
+        """The phase's counters as one mergeable engine record.
+
+        Packages :meth:`snapshot` and the DRAM cycle estimate into an
+        :class:`~repro.engine.Instrumentation`, the unit the execution
+        engine reduces.  (Imported lazily: the engine sits above the
+        memory system in the layer diagram.)
+        """
+        from ..engine.instrumentation import Instrumentation
+
+        return Instrumentation(units=self.snapshot(),
+                               dram_cycles=self.dram.cycles())
+
     def snapshot(self) -> Dict[str, Dict[str, int]]:
         snap: Dict[str, Dict[str, int]] = {
             "vertex": self.vertex_cache.snapshot(),

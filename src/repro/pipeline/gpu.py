@@ -20,6 +20,8 @@ from ..core.evr import VisibilityPredictor
 from ..core.oracle import OracleTileComparator
 from ..core.subtile import SubTileVisibilityPredictor
 from ..core.rendering_elimination import RenderingElimination
+from ..engine.instrumentation import Instrumentation, merge_unit_counters
+from ..engine.scheduler import Scheduler
 from ..errors import PipelineError
 from ..hw.lgt import LayerGeneratorTable
 from ..hw.parameter_buffer import ParameterBuffer
@@ -33,24 +35,41 @@ from .raster import RasterPipeline
 
 @dataclass
 class FrameResult:
-    """Everything measured while rendering one frame."""
+    """Everything measured while rendering one frame.
+
+    The two pipeline phases each contribute one mergeable
+    :class:`~repro.engine.Instrumentation` record (memory-unit counters
+    plus DRAM roofline cycles); the historical ``*_snapshot`` /
+    ``*_dram_cycles`` accessors remain as read-only views.
+    """
 
     index: int
     stats: FrameStats
     image: np.ndarray
-    geometry_snapshot: Dict[str, Dict[str, int]]
-    raster_snapshot: Dict[str, Dict[str, int]]
-    geometry_dram_cycles: float
-    raster_dram_cycles: float
+    geometry: Instrumentation
+    raster: Instrumentation
+
+    @property
+    def geometry_snapshot(self) -> Dict[str, Dict[str, int]]:
+        return self.geometry.units
+
+    @property
+    def raster_snapshot(self) -> Dict[str, Dict[str, int]]:
+        return self.raster.units
+
+    @property
+    def geometry_dram_cycles(self) -> float:
+        return self.geometry.dram_cycles
+
+    @property
+    def raster_dram_cycles(self) -> float:
+        return self.raster.dram_cycles
 
     def merged_snapshot(self) -> Dict[str, Dict[str, int]]:
         """Geometry + raster memory counters combined (for energy)."""
         merged: Dict[str, Dict[str, int]] = {}
-        for snapshot in (self.geometry_snapshot, self.raster_snapshot):
-            for unit, counters in snapshot.items():
-                unit_totals = merged.setdefault(unit, {})
-                for key, value in counters.items():
-                    unit_totals[key] = unit_totals.get(key, 0) + value
+        merge_unit_counters(merged, self.geometry.units)
+        merge_unit_counters(merged, self.raster.units)
         return merged
 
 
@@ -111,10 +130,7 @@ class RunResult:
         stats = self.total_stats(warmup)
         merged: Dict[str, Dict[str, int]] = {}
         for frame_result in self._steady_frames(warmup):
-            for unit, counters in frame_result.merged_snapshot().items():
-                unit_totals = merged.setdefault(unit, {})
-                for key, value in counters.items():
-                    unit_totals[key] = unit_totals.get(key, 0) + value
+            merge_unit_counters(merged, frame_result.merged_snapshot())
         cycles = self.total_cycles(warmup)
         return self.energy_model.compute(
             stats,
@@ -165,11 +181,13 @@ class GPU:
         features: Union[PipelineFeatures, PipelineMode] = PipelineMode.BASELINE,
         cost_params: CostParameters = CostParameters(),
         energy_params: EnergyParameters = EnergyParameters(),
+        scheduler: Optional[Scheduler] = None,
     ):
         if isinstance(features, PipelineMode):
             features = features.features()
         self.config = config
         self.features = features
+        self.scheduler = scheduler
         self.memory = MemorySystem(config)
         self.parameter_buffer = ParameterBuffer(config.num_tiles)
         self.lgt = LayerGeneratorTable(config.num_tiles) if features.uses_layers else None
@@ -205,6 +223,7 @@ class GPU:
         self.raster = RasterPipeline(
             config, features, self.memory, self.parameter_buffer,
             self.predictor, self.re, self.comparator,
+            scheduler=scheduler,
         )
         self._previous_image: Optional[np.ndarray] = None
         self._rendering = False
@@ -244,8 +263,7 @@ class GPU:
         # -- Geometry Pipeline --
         self.memory.reset_stats()
         self.geometry.process_frame(frame, stats)
-        geometry_snapshot = self.memory.snapshot()
-        geometry_dram_cycles = self.memory.dram.cycles()
+        geometry_instr = self.memory.instrumentation()
 
         # -- Raster Pipeline --
         self.memory.reset_stats()
@@ -253,8 +271,7 @@ class GPU:
         image[:, :] = np.array(config.clear_color)
         self.raster.render_frame(image, self._previous_image, stats)
         self.memory.end_frame()
-        raster_snapshot = self.memory.snapshot()
-        raster_dram_cycles = self.memory.dram.cycles()
+        raster_instr = self.memory.instrumentation()
 
         # -- end of frame --
         if self.re is not None:
@@ -267,8 +284,6 @@ class GPU:
             index=frame.index,
             stats=stats,
             image=image,
-            geometry_snapshot=geometry_snapshot,
-            raster_snapshot=raster_snapshot,
-            geometry_dram_cycles=geometry_dram_cycles,
-            raster_dram_cycles=raster_dram_cycles,
+            geometry=geometry_instr,
+            raster=raster_instr,
         )

@@ -1,35 +1,46 @@
-"""The Raster Pipeline: per-tile rendering with Early-Z and blending.
+"""The Raster Pipeline: per-tile rendering through the execution engine.
 
-Tiles are processed sequentially.  For each tile the Display List is
-drained (first list, then second list — Algorithm 1's order), every
-primitive is rasterized against the tile, fragments run through the Early
-Depth Test, survivors are shaded (cost-modelled) and blended into the
-Color Buffer, and at end of tile the colors are flushed to memory and —
-under EVR — the tile's FVP is computed and stored for the next frame.
+For each tile the Display List is drained (first list, then second list —
+Algorithm 1's order), every primitive is rasterized against the tile,
+fragments run through the Early Depth Test, survivors are shaded
+(cost-modelled) and blended into the Color Buffer, and at end of tile the
+colors are flushed to memory and — under EVR — the tile's FVP is computed
+and stored for the next frame.
 
 Rendering Elimination intercepts tiles before any of this: a signature
 match reuses the previous frame's colors and skips the whole tile.
+
+Since the execution-engine refactor, the per-tile work itself lives in
+:class:`repro.engine.TileJob`; this module *schedules* tiles (the RE skip
+check is a scheduling decision), fans the surviving jobs out through the
+configured :class:`~repro.engine.Scheduler`, and *reduces* the returned
+:class:`~repro.engine.TileResult`s in tile order — merging counters,
+replaying memory traces, updating the FVP/signature state and writing the
+framebuffer.  The reduction order is fixed, so serial and parallel
+schedulers produce identical frames and identical metrics.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional
 
 import numpy as np
 
-from ..commands import BlendMode
 from ..config import GPUConfig
 from ..core.evr import VisibilityPredictor
 from ..core.oracle import OracleTileComparator
 from ..core.rendering_elimination import RenderingElimination
-from ..hw.buffers import ColorBuffer, LayerBuffer, ZBuffer
-from ..hw.parameter_buffer import POINTER_BYTES, ParameterBuffer
+from ..engine.scheduler import Scheduler, SerialScheduler
+from ..engine.tile_job import (
+    TileJob,
+    TileResult,
+    execute_tile_job,
+    replay_memory_trace,
+)
+from ..hw.parameter_buffer import ParameterBuffer
 from ..memsys import MemorySystem
 from ..timing import FrameStats
 from .features import PipelineFeatures
-from .rasterizer import rasterize_in_tile
-
-_ALPHA_OPAQUE = 1.0 - 1e-9
 
 
 class RasterPipeline:
@@ -44,6 +55,7 @@ class RasterPipeline:
         predictor: Optional[VisibilityPredictor],
         rendering_elimination: Optional[RenderingElimination],
         comparator: Optional[OracleTileComparator],
+        scheduler: Optional[Scheduler] = None,
     ):
         self.config = config
         self.features = features
@@ -52,12 +64,7 @@ class RasterPipeline:
         self.predictor = predictor
         self.re = rendering_elimination
         self.comparator = comparator
-
-        self.z_buffer = ZBuffer(config.tile_width, config.tile_height,
-                                config.clear_depth)
-        self.color_buffer = ColorBuffer(config.tile_width, config.tile_height,
-                                        config.clear_color)
-        self.layer_buffer = LayerBuffer(config.tile_width, config.tile_height)
+        self.scheduler: Scheduler = scheduler or SerialScheduler()
 
     def render_frame(
         self,
@@ -75,6 +82,7 @@ class RasterPipeline:
             stats: frame counters, updated in place.
         """
         config = self.config
+        jobs: List[TileJob] = []
         for tile_y in range(config.tiles_y):
             for tile_x in range(config.tiles_x):
                 tile = tile_y * config.tiles_x + tile_x
@@ -82,7 +90,21 @@ class RasterPipeline:
                 if self._try_skip_tile(tile, tile_x, tile_y, image,
                                        previous_image, stats):
                     continue
-                self._render_tile(tile, tile_x, tile_y, image, stats)
+                jobs.append(TileJob(
+                    tile=tile,
+                    tile_x=tile_x,
+                    tile_y=tile_y,
+                    config=config,
+                    features=self.features,
+                    entries=list(self.parameter_buffer.display_list(tile)),
+                    attribute_bytes=(
+                        self.parameter_buffer.attribute_bytes_per_primitive
+                    ),
+                ))
+
+        results = self.scheduler.map(execute_tile_job, jobs)
+        for job, result in zip(jobs, results):
+            self._reduce_tile(job, result, image, stats)
 
     # -- tile skipping (Rendering Elimination) ------------------------------
 
@@ -109,247 +131,44 @@ class RasterPipeline:
         image[rows, cols] = previous_image[rows, cols]
         return True
 
-    # -- tile rendering -------------------------------------------------------
+    # -- result reduction ----------------------------------------------------
 
-    def _render_tile(
+    def _reduce_tile(
         self,
-        tile: int,
-        tile_x: int,
-        tile_y: int,
+        job: TileJob,
+        result: TileResult,
         image: np.ndarray,
         stats: FrameStats,
     ) -> None:
-        config = self.config
-        stats.tiles_rendered += 1
-        self.z_buffer.clear()
-        self.color_buffer.clear()
-        if self.features.uses_layers:
-            self.layer_buffer.clear()
-
-        x0 = tile_x * config.tile_width
-        y0 = tile_y * config.tile_height
-        valid = self._valid_mask(x0, y0)
-        display_list = self.parameter_buffer.display_list(tile)
-
-        if self.features.oracle_z:
-            self._oracle_depth_prepass(display_list, x0, y0, valid)
-        elif self.features.z_prepass:
-            self._charged_depth_prepass(display_list, x0, y0, valid, stats)
-
-        # Per-pixel count of shaded contributions not yet made useless by
-        # an opaque overwrite; feeds the overshading metric of Figure 8.
-        pending = np.zeros((config.tile_height, config.tile_width), dtype=np.int32)
-        # Per-pixel misprediction taint: set when a *predicted-occluded*
-        # primitive contributes to the pixel's final color.  Any taint
-        # left at end of tile poisons the signature (see DESIGN.md,
-        # "Correctness repair").
-        taint = np.zeros((config.tile_height, config.tile_width), dtype=bool)
-
-        for entry in display_list:
-            self._render_primitive(entry, x0, y0, valid, pending, taint, stats)
-
-        flush_bytes = self.color_buffer.byte_size
-        self.memory.framebuffer_flush(flush_bytes)
-        stats.color_flush_bytes += flush_bytes
+        """Fold one tile's result into the frame — always in tile order."""
+        stats.merge(result.stats)
+        replay_memory_trace(result.memory_ops, self.memory)
 
         if (
             self.re is not None
             and self.features.evr_signature_filter
-            and taint.any()
+            and result.tainted
         ):
-            self.re.poison_tile(tile)
+            self.re.poison_tile(job.tile)
             stats.signature_poisons += 1
 
         if self.features.uses_layers:
             assert self.predictor is not None
-            self.predictor.record_tile(tile, self.layer_buffer, self.z_buffer)
-            stats.fvp_updates += 1
+            assert result.layer_buffer is not None
+            assert result.z_buffer is not None
+            self.predictor.record_tile(
+                job.tile, result.layer_buffer, result.z_buffer
+            )
 
-        rows, cols = self._tile_region(tile_x, tile_y)
+        rows, cols = self._tile_region(job.tile_x, job.tile_y)
         height = rows.shape[0]
         width = cols.shape[1]
-        image[rows, cols] = self.color_buffer.color[:height, :width]
+        image[rows, cols] = result.color[:height, :width]
 
         if self.comparator is not None:
             self.comparator.record_tile(
-                tile, self.color_buffer.color[:height, :width]
+                job.tile, result.color[:height, :width]
             )
-
-    def _render_primitive(
-        self,
-        entry,
-        x0: int,
-        y0: int,
-        valid: np.ndarray,
-        pending: np.ndarray,
-        taint: np.ndarray,
-        stats: FrameStats,
-    ) -> None:
-        config = self.config
-        primitive = entry.primitive
-        state = primitive.state
-
-        self.memory.parameter_buffer_read(entry.pointer_offset, POINTER_BYTES)
-        self.memory.parameter_buffer_read(
-            entry.offset, self.parameter_buffer.attribute_bytes_per_primitive
-        )
-        stats.display_list_reads += 1
-
-        if (
-            self.features.hierarchical_z
-            and state.depth_test
-            and primitive.z_near > self.z_buffer.z_far
-        ):
-            # Top-of-the-Z-pyramid rejection (Section VIII): the whole
-            # primitive is farther than every stored depth, so no
-            # fragment can pass; skip rasterization entirely.  Safe
-            # because unwritten pixels hold the far clear depth.
-            stats.hiz_tests += 1
-            stats.hiz_culled += 1
-            return
-        if self.features.hierarchical_z and state.depth_test:
-            stats.hiz_tests += 1
-
-        stats.primitives_rasterized += 1
-        stats.raster_attributes += primitive.attribute_count
-
-        batch = rasterize_in_tile(
-            primitive, x0, y0, config.tile_width, config.tile_height
-        )
-        if batch is None:
-            return
-        mask = batch.mask & valid
-        count = int(np.count_nonzero(mask))
-        if count == 0:
-            return
-        stats.fragments_generated += count
-
-        resolved_z = self.features.oracle_z or self.features.z_prepass
-        if state.depth_test:
-            passing = self.z_buffer.test(
-                mask, batch.depth, less_equal=resolved_z
-            )
-            if self.features.early_z:
-                # Early Depth Test: occluded fragments never reach the
-                # fragment processors.
-                stats.early_z_tests += count
-                stats.early_z_kills += count - int(np.count_nonzero(passing))
-                shaded_mask = passing
-            else:
-                # Late depth test only: everything is shaded, but the
-                # color/depth writes still respect visibility.
-                shaded_mask = mask
-        else:
-            passing = mask
-            shaded_mask = mask
-
-        shaded = int(np.count_nonzero(shaded_mask))
-        if shaded == 0:
-            return
-
-        if primitive.writes_z:
-            stats.depth_writes += self.z_buffer.write(passing, batch.depth)
-
-        # Fragment shading (cost model + texture traffic).
-        stats.fragments_shaded += shaded
-        shader = state.shader
-        stats.fragment_instructions += shaded * shader.fragment_instructions
-        if shader.texture_fetches:
-            stats.texture_samples += shaded * shader.texture_fetches
-            self.memory.texture_batch(
-                shader.texture_id,
-                shader.texture_size,
-                batch.u[shaded_mask],
-                batch.v[shaded_mask],
-                shader.texture_fetches,
-            )
-
-        # Blending and overshading accounting (writes gated by the depth
-        # test outcome even when shading was not).
-        if not passing.any():
-            return
-        blend_mode = state.blend
-        if blend_mode is BlendMode.OPAQUE:
-            opaque_mask = passing
-            self.color_buffer.write(passing, batch.rgba)
-        else:
-            opaque_mask = passing & (batch.rgba[:, :, 3] >= _ALPHA_OPAQUE)
-            self.color_buffer.blend(passing, batch.rgba)
-        stats.blend_operations += int(np.count_nonzero(passing))
-
-        stats.overdrawn_fragments += int(pending[opaque_mask].sum())
-        pending[opaque_mask] = 1
-        translucent_mask = passing & ~opaque_mask
-        pending[translucent_mask] += 1
-
-        # Misprediction taint: opaque writes replace the pixel's taint,
-        # blended contributions accumulate it.
-        taint[opaque_mask] = entry.predicted_occluded
-        if entry.predicted_occluded:
-            taint[translucent_mask] = True
-
-        if self.features.uses_layers and opaque_mask.any():
-            written = self.layer_buffer.write(
-                opaque_mask, entry.layer, primitive.writes_z
-            )
-            stats.layer_buffer_writes += written
-
-    # -- charged Z pre-pass --------------------------------------------------------
-
-    def _charged_depth_prepass(self, display_list, x0: int, y0: int,
-                               valid: np.ndarray, stats: FrameStats) -> None:
-        """Depth-only first pass over the tile's WOZ geometry, with the
-        real costs the paper attributes to software Z-prepass (Section
-        IV-A): every primitive is rasterized again, every fragment is
-        depth-tested again and the Z-buffer is written — only fragment
-        *shading* is saved for the second pass.
-        """
-        for entry in display_list:
-            primitive = entry.primitive
-            if not (primitive.writes_z and primitive.state.depth_test):
-                continue
-            stats.prepass_primitives += 1
-            batch = rasterize_in_tile(
-                primitive, x0, y0,
-                self.config.tile_width, self.config.tile_height,
-            )
-            if batch is None:
-                continue
-            mask = batch.mask & valid
-            count = int(np.count_nonzero(mask))
-            if count == 0:
-                continue
-            stats.prepass_fragments += count
-            closer = self.z_buffer.test(mask, batch.depth)
-            stats.prepass_depth_writes += self.z_buffer.write(
-                closer, batch.depth
-            )
-
-    # -- oracle Z pre-pass -------------------------------------------------------
-
-    def _oracle_depth_prepass(self, display_list, x0: int, y0: int,
-                              valid: np.ndarray) -> None:
-        """Fill the Z-buffer with the tile's final depths, for free.
-
-        Models Figure 8's oracle: perfect visibility information in the
-        Z-buffer before the tile executes.  Only WOZ primitives determine
-        final depths.
-        """
-        for entry in display_list:
-            primitive = entry.primitive
-            if not primitive.writes_z:
-                continue
-            batch = rasterize_in_tile(
-                primitive, x0, y0,
-                self.config.tile_width, self.config.tile_height,
-            )
-            if batch is None:
-                continue
-            mask = batch.mask & valid
-            if not mask.any():
-                continue
-            closer = self.z_buffer.test(mask, batch.depth)
-            self.z_buffer.write(closer, batch.depth)
 
     # -- helpers ---------------------------------------------------------------------
 
@@ -363,16 +182,3 @@ class RasterPipeline:
         rows = np.arange(y0, y1)[:, None]
         cols = np.arange(x0, x1)[None, :]
         return rows, cols
-
-    def _valid_mask(self, x0: int, y0: int) -> np.ndarray:
-        """True for tile pixels that are actually on screen (edge tiles
-        of non-divisible resolutions are partial)."""
-        config = self.config
-        mask = np.ones((config.tile_height, config.tile_width), dtype=bool)
-        overflow_x = x0 + config.tile_width - config.screen_width
-        overflow_y = y0 + config.tile_height - config.screen_height
-        if overflow_x > 0:
-            mask[:, config.tile_width - overflow_x:] = False
-        if overflow_y > 0:
-            mask[config.tile_height - overflow_y:, :] = False
-        return mask

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List
+from typing import Dict, Iterable, Iterator, List
 
 
 @dataclass
@@ -126,6 +126,19 @@ class FrameStats:
             setattr(self, name, getattr(self, name) + getattr(other, name))
         return self
 
+    @classmethod
+    def sum(cls, stats_iterable: "Iterable[FrameStats]") -> "FrameStats":
+        """Reduce many counter records into a fresh total.
+
+        The single reduction used everywhere counters meet: per-tile
+        deltas into a frame (the execution engine), per-frame stats into
+        a run (:class:`StatsAccumulator`).
+        """
+        total = cls()
+        for stats in stats_iterable:
+            total.merge(stats)
+        return total
+
     def as_dict(self) -> Dict[str, int]:
         return dataclasses.asdict(self)
 
@@ -153,10 +166,7 @@ class StatsAccumulator:
 
     def total(self) -> FrameStats:
         """Sum of all frames' counters."""
-        aggregate = FrameStats()
-        for frame_stats in self.frames:
-            aggregate.merge(frame_stats)
-        return aggregate
+        return FrameStats.sum(self.frames)
 
     def totals_excluding_first(self) -> FrameStats:
         """Sum over frames 1..N-1.
@@ -165,7 +175,6 @@ class StatsAccumulator:
         EVR behave as the baseline on it; excluding it matches the paper's
         steady-state measurements.
         """
-        aggregate = FrameStats()
-        for frame_stats in self.frames[1:]:
-            aggregate.merge(frame_stats)
-        return aggregate if len(self.frames) > 1 else self.total()
+        if len(self.frames) > 1:
+            return FrameStats.sum(self.frames[1:])
+        return self.total()

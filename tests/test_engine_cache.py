@@ -1,0 +1,109 @@
+"""Tests for the persistent run cache (``repro.engine.diskcache``)."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.config import GPUConfig
+from repro.engine import DiskCache, default_cache_dir
+from repro.engine.diskcache import code_version
+from repro.harness.runner import RunMetrics, SuiteRunner
+from repro.pipeline import PipelineMode
+
+CONFIG = GPUConfig.tiny(frames=2)
+
+
+class TestDiskCache:
+    def test_roundtrip(self, tmp_path):
+        cache = DiskCache(str(tmp_path))
+        key = DiskCache.make_key("ata", "evr", CONFIG, 2)
+        assert cache.get(key) is None
+        cache.put(key, {"value": 42})
+        assert cache.get(key) == {"value": 42}
+        assert cache.size() == 1
+
+    def test_key_sensitivity(self):
+        base = DiskCache.make_key("ata", "evr", CONFIG, 2)
+        assert DiskCache.make_key("ata", "re", CONFIG, 2) != base
+        assert DiskCache.make_key("hop", "evr", CONFIG, 2) != base
+        other_config = GPUConfig.tiny(frames=2).scaled(screen_width=128)
+        assert DiskCache.make_key("ata", "evr", other_config, 2) != base
+        assert DiskCache.make_key("ata", "evr", CONFIG, 3) != base
+        # Deterministic for equal inputs.
+        assert DiskCache.make_key("ata", "evr", CONFIG, 2) == base
+
+    def test_corrupt_entry_treated_as_miss(self, tmp_path):
+        cache = DiskCache(str(tmp_path))
+        key = cache.make_key("anything")
+        cache.put(key, [1, 2, 3])
+        path = cache.path_for(key)
+        with open(path, "rb") as handle:
+            blob = handle.read()
+        with open(path, "wb") as handle:
+            handle.write(blob[: len(blob) // 2])  # truncate mid-pickle
+        assert cache.get(key) is None
+        assert not os.path.exists(path)  # corrupt entry evicted
+        cache.put(key, [1, 2, 3])  # recompute path stays usable
+        assert cache.get(key) == [1, 2, 3]
+
+    def test_clear(self, tmp_path):
+        cache = DiskCache(str(tmp_path))
+        for index in range(3):
+            cache.put(cache.make_key(index), index)
+        assert cache.clear() == 3
+        assert cache.size() == 0
+
+    def test_code_version_stable(self):
+        assert code_version() == code_version()
+        assert len(code_version()) == 64  # sha256 hex
+
+    def test_default_cache_dir_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        assert default_cache_dir() == ".repro_cache"
+        monkeypatch.setenv("REPRO_CACHE_DIR", "/tmp/elsewhere")
+        assert default_cache_dir() == "/tmp/elsewhere"
+
+
+class TestSuiteRunnerDiskCache:
+    def test_second_runner_hits_disk(self, tmp_path):
+        with SuiteRunner(CONFIG, cache_dir=str(tmp_path)) as runner:
+            first = runner.run("ata", PipelineMode.EVR)
+            assert (runner.cache_hits, runner.cache_misses) == (0, 1)
+        # A fresh runner (fresh in-memory memo) must load from disk.
+        with SuiteRunner(CONFIG, cache_dir=str(tmp_path)) as runner:
+            second = runner.run("ata", PipelineMode.EVR)
+            assert isinstance(second, RunMetrics)
+            assert second == first
+            assert (runner.cache_hits, runner.cache_misses) == (1, 0)
+            assert "1 hits, 0 misses" in runner.cache_summary()
+
+    def test_config_change_misses(self, tmp_path):
+        with SuiteRunner(CONFIG, cache_dir=str(tmp_path)) as runner:
+            runner.run("ata", PipelineMode.EVR)
+        other = GPUConfig.tiny(frames=3)
+        with SuiteRunner(other, cache_dir=str(tmp_path)) as runner:
+            runner.run("ata", PipelineMode.EVR)
+            assert (runner.cache_hits, runner.cache_misses) == (0, 1)
+
+    def test_no_cache_dir_disables_disk(self):
+        with SuiteRunner(CONFIG) as runner:
+            runner.run("ata", PipelineMode.BASELINE)
+            assert runner.cache_summary() == "run cache: disabled"
+
+
+class TestCacheCLI:
+    def test_info_and_clear(self, tmp_path, capsys):
+        cache = DiskCache(str(tmp_path))
+        cache.put(cache.make_key("x"), 1)
+        assert main(["cache", "info", "--dir", str(tmp_path)]) == 0
+        assert "cached runs: 1" in capsys.readouterr().out
+        assert main(["cache", "clear", "--dir", str(tmp_path)]) == 0
+        assert "removed 1 cached runs" in capsys.readouterr().out
+        assert cache.size() == 0
+
+    def test_clear_empty_directory(self, tmp_path, capsys):
+        assert main(["cache", "clear", "--dir", str(tmp_path)]) == 0
+        assert "removed 0 cached runs" in capsys.readouterr().out
