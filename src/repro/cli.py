@@ -8,12 +8,21 @@ Subcommands:
 * ``figure`` — regenerate one of the paper's figures/tables.
 * ``render`` — render a benchmark's frames to PPM images.
 * ``report`` — paper-vs-measured markdown report (EXPERIMENTS.md body).
+* ``profile`` — run one benchmark under the profiler and print where the
+  wall-clock time went (phases, jobs, worker occupancy).
 * ``validate`` — cross-mode pixel-equality and invariant checks.
 * ``cache`` — inspect or clear the persistent run cache.
 
 ``run``, ``figure`` and ``report`` accept ``--jobs N`` (or the
 ``REPRO_JOBS`` environment variable) to fan independent simulations out
 over worker processes; results are bit-identical to serial runs.
+
+Observability (see :mod:`repro.obs`): every subcommand takes ``-v`` /
+``--verbose`` and ``-q`` / ``--quiet`` *after* the subcommand name;
+``run``, ``figure``, ``report`` and ``profile`` additionally take
+``--trace out.json`` (Chrome/Perfetto trace-event JSON) and ``--metrics
+out.jsonl`` (or ``.csv``) to export what was measured.  Neither flag
+changes any simulated result.
 """
 
 from __future__ import annotations
@@ -21,7 +30,8 @@ from __future__ import annotations
 import argparse
 import os
 import sys
-from typing import List, Optional
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional
 
 from .config import GPUConfig, default_jobs
 from .engine import DiskCache, default_cache_dir, make_scheduler
@@ -46,6 +56,19 @@ from .harness.timeseries import frame_series, write_csv
 from .harness.report import render_report
 from .harness.runner import SuiteRunner
 from .imageio import write_ppm
+from .obs import (
+    ChromeTracer,
+    Output,
+    SchedulerProfiler,
+    global_registry,
+    setup_logging,
+    tracing,
+    write_csv_records,
+    write_jsonl,
+)
+from .obs.log import verbosity_from_flags
+from .obs.metrics import frame_record, run_record
+from .obs.profile import phase_breakdown
 from .pipeline import GPU, PipelineMode
 from .scenes import BENCHMARKS, benchmark_stream
 from .validate import validate_stream
@@ -106,41 +129,119 @@ def _add_jobs_argument(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace", default="", metavar="FILE",
+        help="write a Chrome/Perfetto trace-event JSON file "
+             "(open in chrome://tracing or ui.perfetto.dev)",
+    )
+    parser.add_argument(
+        "--metrics", default="", metavar="FILE",
+        help="export metrics records; .csv writes flattened CSV, "
+             "anything else JSON Lines",
+    )
+
+
+def _output_flags_parent() -> argparse.ArgumentParser:
+    """Shared ``-v``/``-q`` flags, attached to every subcommand."""
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_mutually_exclusive_group()
+    group.add_argument("-v", "--verbose", action="store_true",
+                       help="extra diagnostics; repro logger at DEBUG")
+    group.add_argument("-q", "--quiet", action="store_true",
+                       help="primary output only (tables, reports)")
+    return parent
+
+
+def _make_output(args: argparse.Namespace) -> Output:
+    """Configure logging from the parsed flags and return the writer."""
+    verbosity = verbosity_from_flags(
+        getattr(args, "verbose", False), getattr(args, "quiet", False)
+    )
+    setup_logging(verbosity)
+    return Output(verbosity)
+
+
+@contextmanager
+def _command_tracer(args: argparse.Namespace,
+                    out: Output) -> Iterator[Optional[ChromeTracer]]:
+    """Install a :class:`ChromeTracer` for the command when ``--trace``
+    was given (yields None otherwise); writes the file on clean exit."""
+    path = getattr(args, "trace", "")
+    if not path:
+        yield None
+        return
+    tracer = ChromeTracer()
+    with tracing(tracer):
+        yield tracer
+    tracer.write(path)
+    out.info(f"trace ({len(tracer.events)} events) -> {path}")
+
+
+def _write_metrics(records: List[Dict[str, Any]], path: str,
+                   out: Output) -> None:
+    if path.endswith(".csv"):
+        write_csv_records(records, path)
+    else:
+        write_jsonl(records, path)
+    out.info(f"metrics ({len(records)} records) -> {path}")
+
+
 def _command_list(args: argparse.Namespace) -> int:
-    print(table3_suite().render())
+    out = _make_output(args)
+    out.result(table3_suite().render())
     return 0
 
 
 def _command_run(args: argparse.Namespace) -> int:
+    out = _make_output(args)
     config = _config_from_args(args)
     stream = benchmark_stream(args.benchmark, config)
     modes = [PipelineMode(mode) for mode in args.modes]
     rows = []
+    records: List[Dict[str, Any]] = []
     baseline_cycles: Optional[float] = None
-    scheduler = make_scheduler(default_jobs(args.jobs))
-    try:
-        for mode in modes:
-            result = GPU(config, mode,
-                         scheduler=scheduler).render_stream(stream)
-            if args.csv:
-                path = f"{args.csv.rstrip('.csv')}_{mode.value}.csv"
-                write_csv(frame_series(result), path)
-                print(f"per-frame series -> {path}")
-            cycles = result.total_cycles()
-            if baseline_cycles is None:
-                baseline_cycles = cycles.total
-            rows.append([
-                mode.value,
-                round(cycles.geometry),
-                round(cycles.raster),
-                cycles.total / baseline_cycles,
-                result.total_energy().total * 1e3,
-                result.redundant_tile_rate(),
-                result.shaded_fragments_per_pixel(),
-            ])
-    finally:
-        scheduler.close()
-    print(format_table(
+    global_registry().reset()
+    with _command_tracer(args, out) as tracer:
+        profiler = SchedulerProfiler(tracer) if tracer is not None else None
+        with make_scheduler(default_jobs(args.jobs),
+                            profiler=profiler) as scheduler:
+            for mode in modes:
+                out.detail(f"simulating {args.benchmark}:{mode.value} "
+                           f"({config.frames} frames, {scheduler!r})")
+                result = GPU(config, mode,
+                             scheduler=scheduler).render_stream(stream)
+                if args.csv:
+                    path = f"{args.csv.rstrip('.csv')}_{mode.value}.csv"
+                    write_csv(frame_series(result), path)
+                    out.info(f"per-frame series -> {path}")
+                if args.metrics:
+                    records.extend(
+                        frame_record(args.benchmark, mode.value, frame,
+                                     result.cost_model, result.energy_model,
+                                     result.features)
+                        for frame in result.frames
+                    )
+                    records.append(
+                        run_record(args.benchmark, mode.value, result)
+                    )
+                cycles = result.total_cycles()
+                if baseline_cycles is None:
+                    baseline_cycles = cycles.total
+                rows.append([
+                    mode.value,
+                    round(cycles.geometry),
+                    round(cycles.raster),
+                    cycles.total / baseline_cycles,
+                    result.total_energy().total * 1e3,
+                    result.redundant_tile_rate(),
+                    result.shaded_fragments_per_pixel(),
+                ])
+    if args.metrics:
+        records.append({"record": "registry",
+                        **global_registry().as_dict()})
+        _write_metrics(records, args.metrics, out)
+    out.result(format_table(
         ["mode", "geom cyc", "raster cyc", "time vs first",
          "energy (mJ)", "tiles skipped", "frags/px"],
         rows,
@@ -151,17 +252,28 @@ def _command_run(args: argparse.Namespace) -> int:
 
 
 def _command_figure(args: argparse.Namespace) -> int:
+    out = _make_output(args)
     config = _config_from_args(args)
-    with SuiteRunner(config, jobs=default_jobs(args.jobs),
-                     cache_dir=default_cache_dir()) as runner:
-        subset = args.benchmarks or None
-        result = _FIGURES[args.figure](runner, subset)
-        print(result.render())
-        print(runner.cache_summary())
+    global_registry().reset()
+    with _command_tracer(args, out) as tracer:
+        profiler = SchedulerProfiler(tracer) if tracer is not None else None
+        with SuiteRunner(config, jobs=default_jobs(args.jobs),
+                         cache_dir=default_cache_dir(),
+                         profiler=profiler) as runner:
+            subset = args.benchmarks or None
+            result = _FIGURES[args.figure](runner, subset)
+            out.result(result.render())
+            out.info(runner.cache_summary())
+            if args.metrics:
+                records = runner.metrics_records()
+                records.append({"record": "registry",
+                                **global_registry().as_dict()})
+                _write_metrics(records, args.metrics, out)
     return 0
 
 
 def _command_render(args: argparse.Namespace) -> int:
+    out = _make_output(args)
     config = _config_from_args(args)
     stream = benchmark_stream(args.benchmark, config)
     mode = PipelineMode(args.mode)
@@ -173,44 +285,112 @@ def _command_render(args: argparse.Namespace) -> int:
             args.output, f"{args.benchmark}_{frame.index:03d}.ppm"
         )
         write_ppm(path, result.image)
-        print(f"frame {frame.index}: {result.stats.fragments_shaded} "
-              f"fragments, {result.stats.tiles_skipped} tiles skipped "
-              f"-> {path}")
+        out.info(f"frame {frame.index}: {result.stats.fragments_shaded} "
+                 f"fragments, {result.stats.tiles_skipped} tiles skipped "
+                 f"-> {path}")
     return 0
 
 
 def _command_report(args: argparse.Namespace) -> int:
+    out = _make_output(args)
     config = _config_from_args(args)
-    with SuiteRunner(config, jobs=default_jobs(args.jobs),
-                     cache_dir=default_cache_dir()) as runner:
-        report = render_report(runner)
-        summary = runner.cache_summary()
+    global_registry().reset()
+    with _command_tracer(args, out) as tracer:
+        profiler = SchedulerProfiler(tracer) if tracer is not None else None
+        with SuiteRunner(config, jobs=default_jobs(args.jobs),
+                         cache_dir=default_cache_dir(),
+                         profiler=profiler) as runner:
+            report = render_report(runner)
+            summary = runner.cache_summary()
+            records = (runner.metrics_records() if args.metrics else [])
     if args.output:
         with open(args.output, "w") as handle:
             handle.write(report)
-        print(f"report written to {args.output}")
+        out.info(f"report written to {args.output}")
     else:
-        print(report)
-    print(summary)
+        out.result(report)
+    out.info(summary)
+    if args.metrics:
+        records.append({"record": "registry", **global_registry().as_dict()})
+        _write_metrics(records, args.metrics, out)
+    return 0
+
+
+def _command_profile(args: argparse.Namespace) -> int:
+    """Render one (benchmark, mode) run under a tracer + profiler and
+    print the phase, job and worker-occupancy breakdowns."""
+    out = _make_output(args)
+    config = _config_from_args(args)
+    mode = PipelineMode(args.mode)
+    global_registry().reset()
+    tracer = ChromeTracer()
+    profiler = SchedulerProfiler(tracer)
+    with tracing(tracer):
+        with make_scheduler(default_jobs(args.jobs),
+                            profiler=profiler) as scheduler:
+            with tracer.span(f"run {args.benchmark}:{mode.value}",
+                             category="harness"):
+                stream = benchmark_stream(args.benchmark, config)
+                GPU(config, mode, scheduler=scheduler).render_stream(stream)
+
+    phase_rows = [
+        [row["span"], row["count"], row["total_ms"], row["mean_ms"]]
+        for row in phase_breakdown(tracer)
+    ]
+    out.result(format_table(
+        ["span", "count", "total ms", "mean ms"], phase_rows,
+        title=f"phase breakdown: {args.benchmark}:{mode.value} @ "
+              f"{config.screen_width}x{config.screen_height}, "
+              f"{config.frames} frames",
+    ))
+    jobs = profiler.job_summary()
+    out.result(format_table(
+        ["tile jobs", "busy ms", "mean ms", "max ms",
+         "mean wait ms", "max wait ms"],
+        [[jobs["jobs"], jobs["busy_seconds"] * 1e3,
+          jobs["mean_seconds"] * 1e3, jobs["max_seconds"] * 1e3,
+          jobs["mean_queue_wait_seconds"] * 1e3,
+          jobs["max_queue_wait_seconds"] * 1e3]],
+        title="tile jobs",
+    ))
+    worker_rows = [
+        [row["worker"], row["jobs"], row["busy_seconds"] * 1e3,
+         row["occupancy"]]
+        for row in profiler.worker_summary()
+    ]
+    out.result(format_table(
+        ["worker", "jobs", "busy ms", "occupancy"], worker_rows,
+        title="worker occupancy",
+    ))
+    if args.trace:
+        tracer.write(args.trace)
+        out.info(f"trace ({len(tracer.events)} events) -> {args.trace}")
+    if args.metrics:
+        _write_metrics(
+            [{"record": "registry", **global_registry().as_dict()}],
+            args.metrics, out,
+        )
     return 0
 
 
 def _command_cache(args: argparse.Namespace) -> int:
+    out = _make_output(args)
     cache = DiskCache(args.dir or default_cache_dir())
     if args.action == "clear":
         removed = cache.clear()
-        print(f"removed {removed} cached runs ({cache.directory})")
+        out.result(f"removed {removed} cached runs ({cache.directory})")
     else:  # info
-        print(f"cache directory: {cache.directory}")
-        print(f"cached runs: {cache.size()}")
+        out.result(f"cache directory: {cache.directory}")
+        out.result(f"cached runs: {cache.size()}")
     return 0
 
 
 def _command_validate(args: argparse.Namespace) -> int:
+    out = _make_output(args)
     config = _config_from_args(args)
     stream = benchmark_stream(args.benchmark, config)
     report = validate_stream(stream, config)
-    print(report.render())
+    out.result(report.render())
     return 0 if report.passed else 1
 
 
@@ -221,10 +401,13 @@ def build_parser() -> argparse.ArgumentParser:
                     "benchmarks and figure regeneration.",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
+    output_flags = _output_flags_parent()
 
-    subparsers.add_parser("list", help="show the benchmark suite")
+    subparsers.add_parser("list", help="show the benchmark suite",
+                          parents=[output_flags])
 
-    run_parser = subparsers.add_parser("run", help="simulate one benchmark")
+    run_parser = subparsers.add_parser("run", help="simulate one benchmark",
+                                       parents=[output_flags])
     run_parser.add_argument("benchmark", choices=sorted(BENCHMARKS))
     run_parser.add_argument(
         "--csv", default="",
@@ -238,9 +421,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_config_arguments(run_parser)
     _add_jobs_argument(run_parser)
+    _add_obs_arguments(run_parser)
 
     figure_parser = subparsers.add_parser(
-        "figure", help="regenerate a paper table/figure or an ablation"
+        "figure", help="regenerate a paper table/figure or an ablation",
+        parents=[output_flags],
     )
     figure_parser.add_argument("figure", choices=sorted(_FIGURES))
     figure_parser.add_argument(
@@ -249,9 +434,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_config_arguments(figure_parser)
     _add_jobs_argument(figure_parser)
+    _add_obs_arguments(figure_parser)
 
     render_parser = subparsers.add_parser(
-        "render", help="render a benchmark's frames to PPM files"
+        "render", help="render a benchmark's frames to PPM files",
+        parents=[output_flags],
     )
     render_parser.add_argument("benchmark", choices=sorted(BENCHMARKS))
     render_parser.add_argument("--mode", default="evr",
@@ -260,15 +447,32 @@ def build_parser() -> argparse.ArgumentParser:
     _add_config_arguments(render_parser)
 
     report_parser = subparsers.add_parser(
-        "report", help="paper-vs-measured markdown report (full suite)"
+        "report", help="paper-vs-measured markdown report (full suite)",
+        parents=[output_flags],
     )
     report_parser.add_argument("--output", default="",
                                help="write to a file instead of stdout")
     _add_config_arguments(report_parser)
     _add_jobs_argument(report_parser)
+    _add_obs_arguments(report_parser)
+
+    profile_parser = subparsers.add_parser(
+        "profile",
+        help="profile one run: phase/job/worker time breakdown",
+        parents=[output_flags],
+    )
+    profile_parser.add_argument("benchmark", choices=sorted(BENCHMARKS))
+    profile_parser.add_argument(
+        "--mode", default="evr",
+        choices=[mode.value for mode in PipelineMode],
+    )
+    _add_config_arguments(profile_parser)
+    _add_jobs_argument(profile_parser)
+    _add_obs_arguments(profile_parser)
 
     cache_parser = subparsers.add_parser(
-        "cache", help="inspect or clear the persistent run cache"
+        "cache", help="inspect or clear the persistent run cache",
+        parents=[output_flags],
     )
     cache_parser.add_argument("action", choices=("info", "clear"))
     cache_parser.add_argument(
@@ -279,6 +483,7 @@ def build_parser() -> argparse.ArgumentParser:
     validate_parser = subparsers.add_parser(
         "validate",
         help="verify all modes render identical images on a benchmark",
+        parents=[output_flags],
     )
     validate_parser.add_argument("benchmark", choices=sorted(BENCHMARKS))
     _add_config_arguments(validate_parser)
@@ -292,6 +497,7 @@ _COMMANDS = {
     "figure": _command_figure,
     "render": _command_render,
     "report": _command_report,
+    "profile": _command_profile,
     "validate": _command_validate,
     "cache": _command_cache,
 }

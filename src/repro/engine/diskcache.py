@@ -10,6 +10,12 @@ code (so a code change can never serve stale numbers).
 
 The cache is deliberately forgiving: a truncated, corrupt or
 version-skewed entry is treated as a miss and recomputed, never an error.
+
+Cache traffic is observable: every ``get``/``put`` increments the
+``cache.hits`` / ``cache.misses`` / ``cache.evictions`` / ``cache.puts``
+counters in the process-wide metrics registry and emits a span into the
+process-wide tracer (no-ops unless ``--trace``/``--metrics`` enabled
+them).
 """
 
 from __future__ import annotations
@@ -19,6 +25,9 @@ import os
 import pickle
 import tempfile
 from typing import Any, Optional
+
+from ..obs.metrics import global_registry
+from ..obs.trace import get_tracer
 
 _ENV_CACHE_DIR = "REPRO_CACHE_DIR"
 DEFAULT_CACHE_DIRNAME = ".repro_cache"
@@ -85,18 +94,25 @@ class DiskCache:
     def get(self, key: str) -> Optional[Any]:
         """The stored value, or None on miss *or* unreadable entry."""
         path = self.path_for(key)
-        try:
-            with open(path, "rb") as handle:
-                return pickle.load(handle)
-        except FileNotFoundError:
-            return None
-        except Exception:
-            # Truncated/corrupt entry: drop it and recompute.
+        counters = global_registry()
+        with get_tracer().span("cache.get", category="cache", key=key[:12]):
             try:
-                os.remove(path)
-            except OSError:
-                pass
-            return None
+                with open(path, "rb") as handle:
+                    value = pickle.load(handle)
+            except FileNotFoundError:
+                counters.counter("cache.misses").inc()
+                return None
+            except Exception:
+                # Truncated/corrupt entry: drop it and recompute.
+                counters.counter("cache.misses").inc()
+                counters.counter("cache.evictions").inc()
+                try:
+                    os.remove(path)
+                except OSError:
+                    pass
+                return None
+            counters.counter("cache.hits").inc()
+            return value
 
     def put(self, key: str, value: Any) -> None:
         """Store ``value`` under ``key`` atomically."""
@@ -104,16 +120,19 @@ class DiskCache:
         fd, tmp_path = tempfile.mkstemp(
             dir=self.directory, prefix=".tmp_", suffix=".pkl"
         )
-        try:
-            with os.fdopen(fd, "wb") as handle:
-                pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(tmp_path, self.path_for(key))
-        except BaseException:
+        with get_tracer().span("cache.put", category="cache", key=key[:12]):
             try:
-                os.remove(tmp_path)
-            except OSError:
-                pass
-            raise
+                with os.fdopen(fd, "wb") as handle:
+                    pickle.dump(value, handle,
+                                protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp_path, self.path_for(key))
+            except BaseException:
+                try:
+                    os.remove(tmp_path)
+                except OSError:
+                    pass
+                raise
+        global_registry().counter("cache.puts").inc()
 
     def clear(self) -> int:
         """Delete every cache entry; returns the number removed."""

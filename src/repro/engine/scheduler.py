@@ -13,13 +13,34 @@ order.  Two implementations:
 
 Both are used through :func:`make_scheduler`, which turns a ``--jobs N``
 style request into the right implementation.
+
+Either scheduler accepts an optional
+:class:`~repro.obs.profile.SchedulerProfiler` (the ``profiler``
+attribute, or the ``profiler`` argument of :func:`make_scheduler`).  When
+attached, every mapped call is wrapped so the executing process measures
+its own wall time; the profiler unwraps the results on the way back.  The
+wrapper passes results through untouched — profiled and unprofiled runs
+are bit-identical, only observability output differs.
 """
 
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, Iterable, List, Optional, Protocol, Sequence, TypeVar
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Iterable,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    TypeVar,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs.profile import SchedulerProfiler
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -47,8 +68,17 @@ class SerialScheduler:
 
     jobs = 1
 
+    def __init__(self, profiler: Optional["SchedulerProfiler"] = None):
+        self.profiler = profiler
+
     def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
-        return [fn(item) for item in items]
+        profiler = self.profiler
+        if profiler is None:
+            return [fn(item) for item in items]
+        submit = time.perf_counter()
+        timed_fn = profiler.wrap(fn)
+        return profiler.collect(submit, items,
+                                [timed_fn(item) for item in items])
 
     def close(self) -> None:
         pass
@@ -73,11 +103,13 @@ class ProcessPoolScheduler:
     frame's tile jobs are small.
     """
 
-    def __init__(self, jobs: int, mp_context: Optional[str] = None):
+    def __init__(self, jobs: int, mp_context: Optional[str] = None,
+                 profiler: Optional["SchedulerProfiler"] = None):
         if jobs < 2:
             raise ValueError("ProcessPoolScheduler needs jobs >= 2; "
                              "use SerialScheduler for jobs=1")
         self.jobs = jobs
+        self.profiler = profiler
         self._mp_context = mp_context
         self._executor: Optional[ProcessPoolExecutor] = None
 
@@ -100,6 +132,14 @@ class ProcessPoolScheduler:
         items = list(items)
         if not items:
             return []
+        profiler = self.profiler
+        if profiler is not None:
+            submit = time.perf_counter()
+            timed = self._map(profiler.wrap(fn), items)
+            return profiler.collect(submit, items, timed)
+        return self._map(fn, items)
+
+    def _map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
         if len(items) == 1:
             # One item gains nothing from a round-trip through the pool.
             return [fn(items[0])]
@@ -128,14 +168,18 @@ class ProcessPoolScheduler:
         return f"ProcessPoolScheduler(jobs={self.jobs})"
 
 
-def make_scheduler(jobs: Optional[int]) -> "Scheduler":
+def make_scheduler(
+    jobs: Optional[int],
+    profiler: Optional["SchedulerProfiler"] = None,
+) -> "Scheduler":
     """Turn a ``--jobs N`` request into a scheduler.
 
     ``None``, 0 and 1 mean serial; ``N >= 2`` means a process pool with N
-    workers; negative N means one worker per CPU.
+    workers; negative N means one worker per CPU.  ``profiler``
+    optionally attaches a :class:`~repro.obs.profile.SchedulerProfiler`.
     """
     if jobs is not None and jobs < 0:
         jobs = os.cpu_count() or 1
     if not jobs or jobs == 1:
-        return SerialScheduler()
-    return ProcessPoolScheduler(jobs)
+        return SerialScheduler(profiler=profiler)
+    return ProcessPoolScheduler(jobs, profiler=profiler)

@@ -118,8 +118,9 @@ class TileResult:
             tiles are cropped by the consumer).
         stats: tile-local counter deltas (merged into the frame's stats).
         memory_ops: recorded memory accesses, replayed in tile order.
-        tainted: True when a predicted-occluded primitive contributed to
-            the tile's final colors (triggers the signature poison).
+        tainted: True when a predicted-occluded primitive survived the
+            depth test somewhere in the tile without being exactly
+            overwritten afterwards (triggers the signature poison).
         layer_buffer / z_buffer: end-of-tile FVP inputs (present only
             when the EVR structures are enabled).
     """
@@ -208,15 +209,28 @@ class TileJob:
         pending = np.zeros((config.tile_height, config.tile_width),
                            dtype=np.int32)
         # Per-pixel misprediction taint: set when a *predicted-occluded*
-        # primitive contributes to the pixel's final color.  Any taint
-        # left at end of tile poisons the signature (see DESIGN.md,
-        # "Correctness repair").
+        # primitive survives the depth test at the pixel, cleared only
+        # by an exact (opaque) overwrite.  Any taint at end of tile poisons the
+        # signature (see DESIGN.md, "Correctness repair").
         taint = np.zeros((config.tile_height, config.tile_width), dtype=bool)
 
         for entry in self.entries:
-            self._render_primitive(
+            contributed = self._render_primitive(
                 context, memory, entry, x0, y0, valid, pending, taint, stats
             )
+            if features.evr_hardware:
+                # Validate the FVP prediction for this (primitive, tile)
+                # pair: the confusion-matrix counters behind the
+                # poison-rate breakdown (repro.obs.metrics).
+                if entry.predicted_occluded:
+                    if contributed:
+                        stats.mispredicted_visible += 1
+                    else:
+                        stats.predicted_occluded_correct += 1
+                elif contributed:
+                    stats.predicted_visible_correct += 1
+                else:
+                    stats.predicted_visible_hidden += 1
 
         flush_bytes = context.color_buffer.byte_size
         memory.framebuffer_flush(flush_bytes)
@@ -251,7 +265,8 @@ class TileJob:
         pending: np.ndarray,
         taint: np.ndarray,
         stats: FrameStats,
-    ) -> None:
+    ) -> bool:
+        """Render one display-list entry; True if it contributed color."""
         config = self.config
         features = self.features
         primitive = entry.primitive
@@ -274,7 +289,7 @@ class TileJob:
             # because unwritten pixels hold the far clear depth.
             stats.hiz_tests += 1
             stats.hiz_culled += 1
-            return
+            return False
         if features.hierarchical_z and state.depth_test:
             stats.hiz_tests += 1
 
@@ -285,11 +300,11 @@ class TileJob:
             primitive, x0, y0, config.tile_width, config.tile_height
         )
         if batch is None:
-            return
+            return False
         mask = batch.mask & valid
         count = int(np.count_nonzero(mask))
         if count == 0:
-            return
+            return False
         stats.fragments_generated += count
 
         resolved_z = features.oracle_z or features.z_prepass
@@ -311,7 +326,7 @@ class TileJob:
 
         shaded = int(np.count_nonzero(shaded_mask))
         if shaded == 0:
-            return
+            return False
 
         if primitive.writes_z:
             stats.depth_writes += z_buffer.write(passing, batch.depth)
@@ -333,7 +348,7 @@ class TileJob:
         # Blending and overshading accounting (writes gated by the depth
         # test outcome even when shading was not).
         if not passing.any():
-            return
+            return False
         blend_mode = state.blend
         if blend_mode is BlendMode.OPAQUE:
             opaque_mask = passing
@@ -348,17 +363,25 @@ class TileJob:
         translucent_mask = passing & ~opaque_mask
         pending[translucent_mask] += 1
 
-        # Misprediction taint: opaque writes replace the pixel's taint,
-        # blended contributions accumulate it.
-        taint[opaque_mask] = entry.predicted_occluded
-        if entry.predicted_occluded:
-            taint[translucent_mask] = True
+        # Misprediction taint.  An *exact* overwrite (the OPAQUE path's
+        # buffer write) erases the previous color bit-for-bit, so it may
+        # replace the pixel's taint with its own prediction bit — that
+        # clearing is what keeps hidden motion under an opaque HUD
+        # skippable.  Blended writes must only ever ADD taint, even at
+        # alpha >= the opaque threshold: blend arithmetic keeps a
+        # (1 - alpha) * dst term that leaks the hidden color at ulp
+        # scale whenever interpolated alpha is not exactly 1.
+        if blend_mode is BlendMode.OPAQUE:
+            taint[opaque_mask] = entry.predicted_occluded
+        elif entry.predicted_occluded:
+            taint[passing] = True
 
         if features.uses_layers and opaque_mask.any():
             written = context.layer_buffer.write(
                 opaque_mask, entry.layer, primitive.writes_z
             )
             stats.layer_buffer_writes += written
+        return True
 
     # -- charged Z pre-pass -------------------------------------------------
 

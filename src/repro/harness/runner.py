@@ -18,12 +18,15 @@ top of each other:
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..config import GPUConfig
 from ..engine.diskcache import DiskCache, code_version
 from ..engine.scheduler import Scheduler, make_scheduler
+from ..obs.profile import SchedulerProfiler
+from ..obs.trace import get_tracer
 from ..pipeline import GPU, PipelineMode, RunResult
 from ..scenes import benchmark_names, benchmark_stream
 
@@ -99,10 +102,12 @@ def run_benchmark(
     :mod:`repro.engine`); metrics are identical whichever scheduler runs.
     """
     config = config or GPUConfig.default()
-    stream = benchmark_stream(benchmark, config, frames)
-    gpu = GPU(config, mode, scheduler=scheduler)
-    result = gpu.render_stream(stream)
-    return metrics_from_result(benchmark, mode, result)
+    with get_tracer().span(f"run {benchmark}:{mode.value}",
+                           category="harness"):
+        stream = benchmark_stream(benchmark, config, frames)
+        gpu = GPU(config, mode, scheduler=scheduler)
+        result = gpu.render_stream(stream)
+        return metrics_from_result(benchmark, mode, result)
 
 
 def _run_pair(
@@ -123,15 +128,19 @@ class SuiteRunner:
             serially, exactly as before.
         cache_dir: directory of the persistent run cache; ``None``
             disables disk caching (the in-memory memo always applies).
+        profiler: optional :class:`~repro.obs.SchedulerProfiler`
+            attached to the suite scheduler (observability only).
     """
 
     def __init__(self, config: Optional[GPUConfig] = None,
                  frames: Optional[int] = None,
                  jobs: Optional[int] = None,
-                 cache_dir: Optional[str] = None):
+                 cache_dir: Optional[str] = None,
+                 profiler: Optional[SchedulerProfiler] = None):
         self.config = config or GPUConfig.default()
         self.frames = frames
         self.jobs = jobs or 1
+        self.profiler = profiler
         self._cache: Dict[Tuple[str, PipelineMode], RunMetrics] = {}
         self._disk = DiskCache(cache_dir) if cache_dir else None
         self._scheduler: Optional[Scheduler] = None
@@ -142,7 +151,8 @@ class SuiteRunner:
 
     def _suite_scheduler(self) -> Scheduler:
         if self._scheduler is None:
-            self._scheduler = make_scheduler(self.jobs)
+            self._scheduler = make_scheduler(self.jobs,
+                                             profiler=self.profiler)
         return self._scheduler
 
     def close(self) -> None:
@@ -187,6 +197,25 @@ class SuiteRunner:
         return (f"run cache: {self.cache_hits} hits, "
                 f"{self.cache_misses} misses ({self._disk.directory})")
 
+    def metrics_records(self) -> List[Dict[str, Any]]:
+        """Every memoized run as a ``--metrics`` export record, plus one
+        trailing summary record with the runner's cache counters."""
+        records: List[Dict[str, Any]] = [
+            {"record": "suite-run", **dataclasses.asdict(metrics)}
+            for (_, _), metrics in sorted(
+                self._cache.items(),
+                key=lambda kv: (kv[0][0], kv[0][1].value),
+            )
+        ]
+        records.append({
+            "record": "suite-summary",
+            "runs": len(self._cache),
+            "jobs": self.jobs,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+        })
+        return records
+
     # -- running ------------------------------------------------------------
 
     def run(self, benchmark: str, mode: PipelineMode) -> RunMetrics:
@@ -228,7 +257,11 @@ class SuiteRunner:
                     (benchmark, mode, self.config, self.frames)
                     for benchmark, mode in missing
                 ]
-                results = self._suite_scheduler().map(_run_pair, payloads)
+                with get_tracer().span("suite.map", category="harness",
+                                       runs=len(missing)):
+                    results = self._suite_scheduler().map(
+                        _run_pair, payloads
+                    )
                 for key, metrics in zip(missing, results):
                     self._store(key, metrics, to_disk=True)
             else:

@@ -29,9 +29,18 @@ def combine_signature(running: int, primitive_crc: int) -> int:
 
     The paper shifts the running hash by the primitive size and combines;
     an order-sensitive equivalent is to CRC the primitive's CRC bytes into
-    the running value.
+    the running value.  The running signature additionally carries the
+    combine *count* in its upper bits (a count register next to the CRC
+    register in hardware terms): the CRC state update ``x -> crc32(b, x)``
+    is affine over GF(2) and has fixed points for some blocks ``b`` —
+    e.g. ``crc32(b'\\x00' * 4, 0xFFFFFFFF) == 0xFFFFFFFF`` — so without
+    the count, appending a primitive could leave a tile's signature
+    unchanged and let RE skip a tile whose content changed.
     """
-    return zlib.crc32(primitive_crc.to_bytes(4, "little"), running)
+    count = (running >> 32) + 1
+    state = zlib.crc32(primitive_crc.to_bytes(4, "little"),
+                       running & 0xFFFFFFFF)
+    return (count << 32) | state
 
 
 @dataclass

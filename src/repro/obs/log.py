@@ -1,0 +1,89 @@
+"""Logging configuration and the CLI's leveled output helper.
+
+Two audiences share this module: library code logs through
+:func:`get_logger` (standard :mod:`logging`, silent unless configured),
+and the CLI prints through an :class:`Output`, whose levels map onto the
+``-q/--quiet`` and ``-v/--verbose`` flags:
+
+* ``result`` — the command's primary payload (tables, reports).  Always
+  printed; piping ``repro ... -q`` into a file yields exactly the data.
+* ``info`` — operational chatter (cache summaries, "written to" notes).
+  Suppressed by ``--quiet``.
+* ``detail`` — extra diagnostics, printed only with ``--verbose``.
+
+``--verbose`` also raises the ``repro`` logger to DEBUG so library-side
+log lines surface on stderr.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import IO, Optional
+
+QUIET = -1
+NORMAL = 0
+VERBOSE = 1
+
+_PACKAGE_LOGGER = "repro"
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """The package logger, or a child of it (``get_logger("engine")``)."""
+    if name:
+        return logging.getLogger(f"{_PACKAGE_LOGGER}.{name}")
+    return logging.getLogger(_PACKAGE_LOGGER)
+
+
+def setup_logging(verbosity: int = NORMAL,
+                  stream: Optional[IO[str]] = None) -> None:
+    """Configure the ``repro`` logger for CLI use.
+
+    Quiet keeps only errors; normal shows warnings; verbose shows
+    everything.  Handlers are replaced, not stacked, so repeated calls
+    (tests, REPL) stay idempotent.
+    """
+    logger = get_logger()
+    level = (logging.ERROR if verbosity <= QUIET
+             else logging.WARNING if verbosity == NORMAL
+             else logging.DEBUG)
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler.setFormatter(logging.Formatter("%(name)s: %(message)s"))
+    logger.handlers[:] = [handler]
+    logger.setLevel(level)
+    logger.propagate = False
+
+
+class Output:
+    """Leveled stdout writer for CLI commands."""
+
+    def __init__(self, verbosity: int = NORMAL,
+                 stream: Optional[IO[str]] = None):
+        self.verbosity = verbosity
+        self.stream = stream
+
+    def _write(self, message: str) -> None:
+        print(message, file=self.stream or sys.stdout)
+
+    def result(self, message: str = "") -> None:
+        """The command's primary output — printed at every verbosity."""
+        self._write(message)
+
+    def info(self, message: str) -> None:
+        """Operational notes — suppressed by ``--quiet``."""
+        if self.verbosity >= NORMAL:
+            self._write(message)
+
+    def detail(self, message: str) -> None:
+        """Diagnostics — printed only with ``--verbose``."""
+        if self.verbosity >= VERBOSE:
+            self._write(message)
+
+
+def verbosity_from_flags(verbose: bool, quiet: bool) -> int:
+    """Fold the two CLI flags into one level (quiet wins on conflict)."""
+    if quiet:
+        return QUIET
+    if verbose:
+        return VERBOSE
+    return NORMAL

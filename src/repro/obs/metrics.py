@@ -1,0 +1,314 @@
+"""The metrics registry: counters, gauges and histograms, plus exporters.
+
+This is the one sink where the simulator's measurement records meet:
+:class:`~repro.timing.FrameStats` counters and
+:class:`~repro.engine.Instrumentation` memory-unit counters can both be
+ingested into a :class:`MetricsRegistry`, and runtime components (the
+disk cache, the scheduler profiler) count directly into the process-wide
+:func:`global_registry`.  On top of the raw counters this module derives
+the EVR telemetry the paper's figures argue from:
+
+* :func:`fvp_confusion_matrix` — predicted-occluded vs actually-visible
+  per (primitive, tile) pair, i.e. the poison-rate breakdown;
+* :func:`re_ratios` — Rendering Elimination skip/check/filter ratios;
+* disk-cache hit/miss/evict counters (``cache.*`` in the global
+  registry, incremented by :class:`~repro.engine.DiskCache`).
+
+Records are plain dicts; :func:`write_jsonl` and
+:func:`write_csv_records` export them per frame and per run.  Everything
+here is observability-only: registries are never read back by the
+simulation.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, IO, Iterable, List, Mapping, Optional, Union
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing count."""
+
+    value: float = 0
+
+    def inc(self, amount: float = 1) -> None:
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """A last-value-wins measurement."""
+
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+@dataclass
+class Histogram:
+    """Streaming summary of an observed distribution (count/sum/min/max)."""
+
+    count: int = 0
+    total: float = 0.0
+    minimum: float = field(default=float("inf"))
+    maximum: float = field(default=float("-inf"))
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> Dict[str, float]:
+        if not self.count:
+            return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0,
+                    "mean": 0.0}
+        return {"count": self.count, "sum": self.total,
+                "min": self.minimum, "max": self.maximum,
+                "mean": self.mean}
+
+
+class MetricsRegistry:
+    """Named counters, gauges and histograms with get-or-create access."""
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, Counter] = {}
+        self.gauges: Dict[str, Gauge] = {}
+        self.histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        try:
+            return self.counters[name]
+        except KeyError:
+            instrument = self.counters[name] = Counter()
+            return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        try:
+            return self.gauges[name]
+        except KeyError:
+            instrument = self.gauges[name] = Gauge()
+            return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        try:
+            return self.histograms[name]
+        except KeyError:
+            instrument = self.histograms[name] = Histogram()
+            return instrument
+
+    def reset(self) -> None:
+        """Drop every instrument (scopes counters to one CLI invocation)."""
+        self.counters.clear()
+        self.gauges.clear()
+        self.histograms.clear()
+
+    # -- ingestion ----------------------------------------------------------
+
+    def ingest_stats(self, stats, prefix: str = "stats") -> None:
+        """Accumulate a :class:`~repro.timing.FrameStats` (duck-typed via
+        ``as_dict``) into ``<prefix>.<counter>`` counters."""
+        for name, value in stats.as_dict().items():
+            self.counter(f"{prefix}.{name}").inc(value)
+
+    def ingest_instrumentation(self, instrumentation,
+                               prefix: str = "memory") -> None:
+        """Accumulate an :class:`~repro.engine.Instrumentation` record's
+        unit counters and DRAM cycles."""
+        for unit, counters in instrumentation.units.items():
+            for name, value in counters.items():
+                self.counter(f"{prefix}.{unit}.{name}").inc(value)
+        self.counter(f"{prefix}.dram_cycles").inc(
+            instrumentation.dram_cycles
+        )
+
+    # -- export -------------------------------------------------------------
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "counters": {name: c.value for name, c in sorted(self.counters.items())},
+            "gauges": {name: g.value for name, g in sorted(self.gauges.items())},
+            "histograms": {name: h.summary()
+                           for name, h in sorted(self.histograms.items())},
+        }
+
+
+_GLOBAL = MetricsRegistry()
+
+
+def global_registry() -> MetricsRegistry:
+    """The process-wide registry runtime components count into."""
+    return _GLOBAL
+
+
+# -- derived EVR telemetry ---------------------------------------------------
+
+
+def fvp_confusion_matrix(stats) -> Dict[str, float]:
+    """The FVP prediction confusion matrix over validated predictions.
+
+    A prediction is *validated* when its (primitive, tile) pair actually
+    reached the rasterizer — its outcome ("did any fragment survive the
+    depth test and contribute color?") is then observable.  Pairs binned
+    into tiles later skipped by RE are never validated.  The poison rate
+    — the fraction of predicted-occluded pairs that were actually
+    visible, each of which taints its tile's signature — is the paper's
+    misprediction cost.
+    """
+    occluded_visible = stats.mispredicted_visible
+    occluded_occluded = stats.predicted_occluded_correct
+    visible_occluded = stats.predicted_visible_hidden
+    visible_visible = stats.predicted_visible_correct
+    predicted_occluded = occluded_visible + occluded_occluded
+    validated = predicted_occluded + visible_occluded + visible_visible
+    return {
+        "predicted_occluded_actually_occluded": occluded_occluded,
+        "predicted_occluded_actually_visible": occluded_visible,
+        "predicted_visible_actually_occluded": visible_occluded,
+        "predicted_visible_actually_visible": visible_visible,
+        "validated": validated,
+        "poison_rate": (occluded_visible / predicted_occluded
+                        if predicted_occluded else 0.0),
+        "accuracy": ((occluded_occluded + visible_visible) / validated
+                     if validated else 0.0),
+    }
+
+
+def re_ratios(stats) -> Dict[str, float]:
+    """Rendering Elimination effectiveness ratios for one stats record."""
+    updates = stats.signature_updates + stats.signature_skips
+    return {
+        "tiles_total": stats.tiles_total,
+        "tiles_skipped": stats.tiles_skipped,
+        "signature_checks": stats.signature_checks,
+        "signature_poisons": stats.signature_poisons,
+        "skip_rate": (stats.tiles_skipped / stats.tiles_total
+                      if stats.tiles_total else 0.0),
+        "check_rate": (stats.signature_checks / stats.tiles_total
+                       if stats.tiles_total else 0.0),
+        "signature_filter_rate": (stats.signature_skips / updates
+                                  if updates else 0.0),
+    }
+
+
+def frame_record(benchmark: str, mode: str, frame_result, cost_model,
+                 energy_model, features) -> Dict[str, Any]:
+    """One frame's metrics record (JSONL row) from a ``FrameResult``.
+
+    Duck-typed against :class:`~repro.pipeline.FrameResult` and the two
+    cost models so this module stays import-independent of the pipeline.
+    """
+    stats = frame_result.stats
+    geometry = cost_model.geometry_cycles(stats,
+                                          frame_result.geometry.dram_cycles)
+    raster = cost_model.raster_cycles(stats, frame_result.raster.dram_cycles)
+    energy = energy_model.compute(
+        stats, frame_result.merged_snapshot(), geometry + raster,
+        evr_enabled=features.evr_hardware,
+        re_enabled=features.rendering_elimination,
+    )
+    return {
+        "record": "frame",
+        "benchmark": benchmark,
+        "mode": mode,
+        "frame": frame_result.index,
+        "geometry_cycles": geometry,
+        "raster_cycles": raster,
+        "total_cycles": geometry + raster,
+        "energy_joules": energy.total,
+        "fvp_confusion": fvp_confusion_matrix(stats),
+        "re": re_ratios(stats),
+        "stats": stats.as_dict(),
+    }
+
+
+def run_record(benchmark: str, mode: str, result,
+               registry: Optional[MetricsRegistry] = None) -> Dict[str, Any]:
+    """One run's aggregate record from a ``RunResult`` (steady-state)."""
+    stats = result.total_stats()
+    cycles = result.total_cycles()
+    energy = result.total_energy()
+    record: Dict[str, Any] = {
+        "record": "run",
+        "benchmark": benchmark,
+        "mode": mode,
+        "frames": len(result.frames),
+        "geometry_cycles": cycles.geometry,
+        "raster_cycles": cycles.raster,
+        "total_cycles": cycles.total,
+        "energy_joules": energy.total,
+        "fvp_confusion": fvp_confusion_matrix(stats),
+        "re": re_ratios(stats),
+        "stats": stats.as_dict(),
+    }
+    if registry is not None:
+        record["registry"] = registry.as_dict()
+    return record
+
+
+# -- record exporters --------------------------------------------------------
+
+
+def flatten_record(record: Mapping[str, Any],
+                   prefix: str = "") -> Dict[str, Any]:
+    """Flatten nested dicts into dotted keys (for CSV export)."""
+    flat: Dict[str, Any] = {}
+    for key, value in record.items():
+        name = f"{prefix}{key}"
+        if isinstance(value, Mapping):
+            flat.update(flatten_record(value, prefix=f"{name}."))
+        else:
+            flat[name] = value
+    return flat
+
+
+def write_jsonl(records: Iterable[Mapping[str, Any]],
+                file: Union[str, IO[str]]) -> None:
+    """Write records as JSON Lines (one compact object per line)."""
+
+    def _write(handle: IO[str]) -> None:
+        for record in records:
+            handle.write(json.dumps(record, sort_keys=True))
+            handle.write("\n")
+
+    if isinstance(file, str):
+        with open(file, "w") as handle:
+            _write(handle)
+    else:
+        _write(file)
+
+
+def write_csv_records(records: Iterable[Mapping[str, Any]],
+                      file: Union[str, IO[str]]) -> None:
+    """Write records as CSV, flattening nested dicts into dotted columns.
+
+    The header is the union of all records' keys, in first-seen order,
+    so heterogeneous record kinds (frame rows + run rows) coexist.
+    """
+    flat_records = [flatten_record(record) for record in records]
+    columns: List[str] = []
+    for record in flat_records:
+        for key in record:
+            if key not in columns:
+                columns.append(key)
+
+    def _write(handle: IO[str]) -> None:
+        writer = csv.DictWriter(handle, fieldnames=columns, restval="")
+        writer.writeheader()
+        writer.writerows(flat_records)
+
+    if isinstance(file, str):
+        with open(file, "w", newline="") as handle:
+            _write(handle)
+    else:
+        _write(file)

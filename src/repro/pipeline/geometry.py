@@ -31,6 +31,7 @@ from ..hw.parameter_buffer import (
 )
 from ..math3d import Mat4, Vec2, viewport
 from ..memsys import MemorySystem
+from ..obs.trace import get_tracer
 from ..timing import FrameStats
 from .features import PipelineFeatures
 
@@ -72,11 +73,16 @@ class GeometryPipeline:
         """Run the full Geometry Pipeline for ``frame``."""
         self._pointer_cursor = 0
         self._vertex_base = 0
+        tracer = get_tracer()
         for command_id, command in enumerate(frame.commands):
             stats.commands_processed += 1
-            triangles = self._shade_and_assemble(frame, command_id, command, stats)
-            for triangle in triangles:
-                self._bin_primitive(triangle, command, stats)
+            with tracer.span("command", category="geometry",
+                             label=command.label, frame=frame.index):
+                triangles = self._shade_and_assemble(
+                    frame, command_id, command, stats
+                )
+                for triangle in triangles:
+                    self._bin_primitive(triangle, command, stats)
 
     def _shade_and_assemble(
         self,
@@ -174,11 +180,15 @@ class GeometryPipeline:
         The signature must change whenever anything that can affect the
         tile's colors changes: window-space positions (so moving objects
         are caught even when their object-space mesh is static), vertex
-        attributes, and the render state / shader identity.
+        attributes, and the render state / shader identity.  Positions
+        are packed at full f64 precision: the rasterizer interpolates in
+        f64, so motion below f32 epsilon still changes blended colors,
+        and an f32-quantized signature would wrongly match across such a
+        frame pair and skip a tile whose true colors differ.
         """
         parts = [state.pack()]
         for position, depth, attrs in zip(xy, z, attributes):
-            parts.append(struct.pack("<3f", position.x, position.y, depth))
+            parts.append(struct.pack("<3d", position.x, position.y, depth))
             parts.append(attrs.pack())
         return b"".join(parts)
 

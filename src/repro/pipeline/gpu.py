@@ -26,6 +26,7 @@ from ..errors import PipelineError
 from ..hw.lgt import LayerGeneratorTable
 from ..hw.parameter_buffer import ParameterBuffer
 from ..memsys import MemorySystem
+from ..obs.trace import get_tracer
 from ..timing import CostModel, CostParameters, FrameStats, StatsAccumulator
 from ..energy import EnergyBreakdown, EnergyModel, EnergyParameters
 from .features import PipelineFeatures, PipelineMode
@@ -249,27 +250,32 @@ class GPU:
             raise PipelineError("render_frame called re-entrantly")
         self._rendering = True
         try:
-            return self._render_frame(frame)
+            with get_tracer().span("frame", category="frame",
+                                   frame=frame.index):
+                return self._render_frame(frame)
         finally:
             self._rendering = False
 
     def _render_frame(self, frame: Frame) -> FrameResult:
         config = self.config
         stats = FrameStats()
+        tracer = get_tracer()
         self.parameter_buffer.reset()
         if self.lgt is not None:
             self.lgt.reset()
 
         # -- Geometry Pipeline --
         self.memory.reset_stats()
-        self.geometry.process_frame(frame, stats)
+        with tracer.span("geometry", category="phase", frame=frame.index):
+            self.geometry.process_frame(frame, stats)
         geometry_instr = self.memory.instrumentation()
 
         # -- Raster Pipeline --
         self.memory.reset_stats()
         image = np.zeros((config.screen_height, config.screen_width, 4))
         image[:, :] = np.array(config.clear_color)
-        self.raster.render_frame(image, self._previous_image, stats)
+        with tracer.span("raster", category="phase", frame=frame.index):
+            self.raster.render_frame(image, self._previous_image, stats)
         self.memory.end_frame()
         raster_instr = self.memory.instrumentation()
 

@@ -39,6 +39,7 @@ from ..engine.tile_job import (
 )
 from ..hw.parameter_buffer import ParameterBuffer
 from ..memsys import MemorySystem
+from ..obs.trace import get_tracer
 from ..timing import FrameStats
 from .features import PipelineFeatures
 
@@ -82,29 +83,35 @@ class RasterPipeline:
             stats: frame counters, updated in place.
         """
         config = self.config
+        tracer = get_tracer()
         jobs: List[TileJob] = []
-        for tile_y in range(config.tiles_y):
-            for tile_x in range(config.tiles_x):
-                tile = tile_y * config.tiles_x + tile_x
-                stats.tiles_total += 1
-                if self._try_skip_tile(tile, tile_x, tile_y, image,
-                                       previous_image, stats):
-                    continue
-                jobs.append(TileJob(
-                    tile=tile,
-                    tile_x=tile_x,
-                    tile_y=tile_y,
-                    config=config,
-                    features=self.features,
-                    entries=list(self.parameter_buffer.display_list(tile)),
-                    attribute_bytes=(
-                        self.parameter_buffer.attribute_bytes_per_primitive
-                    ),
-                ))
+        with tracer.span("schedule", category="raster"):
+            for tile_y in range(config.tiles_y):
+                for tile_x in range(config.tiles_x):
+                    tile = tile_y * config.tiles_x + tile_x
+                    stats.tiles_total += 1
+                    if self._try_skip_tile(tile, tile_x, tile_y, image,
+                                           previous_image, stats):
+                        continue
+                    jobs.append(TileJob(
+                        tile=tile,
+                        tile_x=tile_x,
+                        tile_y=tile_y,
+                        config=config,
+                        features=self.features,
+                        entries=list(
+                            self.parameter_buffer.display_list(tile)
+                        ),
+                        attribute_bytes=(
+                            self.parameter_buffer.attribute_bytes_per_primitive
+                        ),
+                    ))
 
-        results = self.scheduler.map(execute_tile_job, jobs)
-        for job, result in zip(jobs, results):
-            self._reduce_tile(job, result, image, stats)
+        with tracer.span("execute", category="raster", tiles=len(jobs)):
+            results = self.scheduler.map(execute_tile_job, jobs)
+        with tracer.span("reduce", category="raster", tiles=len(jobs)):
+            for job, result in zip(jobs, results):
+                self._reduce_tile(job, result, image, stats)
 
     # -- tile skipping (Rendering Elimination) ------------------------------
 

@@ -114,10 +114,19 @@ class FrameStats:
     # Hierarchical-Z primitive culling
     hiz_tests: int = 0
     hiz_culled: int = 0
-    # prediction bookkeeping (EVR)
+    # prediction bookkeeping (EVR).  The four ``*_correct`` / ``*_hidden``
+    # / ``mispredicted_visible`` counters form the FVP confusion matrix
+    # over *validated* predictions — (primitive, tile) pairs that reached
+    # the rasterizer, where the outcome is observable (pairs binned into
+    # RE-skipped tiles never are).  ``mispredicted_visible`` is the
+    # poison source: a predicted-occluded primitive that contributed
+    # color (see repro.obs.metrics.fvp_confusion_matrix).
     predictions_made: int = 0
     predicted_occluded: int = 0
     mispredicted_visible: int = 0
+    predicted_occluded_correct: int = 0
+    predicted_visible_hidden: int = 0
+    predicted_visible_correct: int = 0
 
     def merge(self, other: "FrameStats") -> "FrameStats":
         """Accumulate ``other`` into this instance (in place)."""

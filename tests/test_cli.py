@@ -1,10 +1,14 @@
 """Tests for the command-line interface."""
 
+import json
 import os
 
 import pytest
 
+import repro.cli
 from repro.cli import build_parser, main
+from repro.engine import SerialScheduler
+from repro.obs import NULL_TRACER, get_tracer
 
 
 class TestParser:
@@ -27,6 +31,26 @@ class TestParser:
         assert args.figure == "fig9"
         with pytest.raises(SystemExit):
             build_parser().parse_args(["figure", "fig99"])
+
+    def test_verbosity_flags_on_subcommands(self):
+        args = build_parser().parse_args(["run", "cde", "-v"])
+        assert args.verbose and not args.quiet
+        args = build_parser().parse_args(["list", "--quiet"])
+        assert args.quiet
+        with pytest.raises(SystemExit):  # mutually exclusive
+            build_parser().parse_args(["run", "cde", "-v", "-q"])
+
+    def test_obs_flags(self):
+        args = build_parser().parse_args(
+            ["run", "cde", "--trace", "t.json", "--metrics", "m.jsonl"]
+        )
+        assert args.trace == "t.json"
+        assert args.metrics == "m.jsonl"
+
+    def test_profile_defaults(self):
+        args = build_parser().parse_args(["profile", "hop"])
+        assert args.mode == "evr"
+        assert args.trace == ""
 
 
 class TestCommands:
@@ -61,3 +85,104 @@ class TestCommands:
         assert files == ["hop_000.ppm", "hop_001.ppm", "hop_002.ppm"]
         with open(os.path.join(output, files[0]), "rb") as handle:
             assert handle.read(2) == b"P6"
+
+    def test_profile(self, capsys):
+        assert main(["profile", "hop", "--mode", "evr"] + self.SMALL) == 0
+        out = capsys.readouterr().out
+        assert "phase breakdown" in out
+        assert "geometry" in out and "raster" in out
+        assert "worker occupancy" in out
+        assert "main" in out  # serial run: everything on the main track
+
+
+class TestObservabilityFlags:
+    SMALL = ["--frames", "3", "--width", "64", "--height", "48"]
+
+    def test_quiet_suppresses_info_keeps_result(self, tmp_path, capsys):
+        output = str(tmp_path / "frames")
+        assert main(["render", "hop", "--output", output, "-q",
+                     "--mode", "baseline"] + self.SMALL) == 0
+        assert capsys.readouterr().out == ""  # per-frame notes are info
+        assert len(os.listdir(output)) == 3
+
+    def test_verbose_adds_detail(self, capsys):
+        assert main(["run", "hop", "--modes", "baseline", "-v"]
+                    + self.SMALL) == 0
+        out = capsys.readouterr().out
+        assert "simulating hop:baseline" in out
+
+    def test_run_trace_and_metrics_export(self, tmp_path, capsys):
+        trace_path = str(tmp_path / "trace.json")
+        metrics_path = str(tmp_path / "metrics.jsonl")
+        assert main(["run", "hop", "--modes", "baseline", "evr",
+                     "--trace", trace_path, "--metrics", metrics_path]
+                    + self.SMALL) == 0
+        assert get_tracer() is NULL_TRACER  # tracer uninstalled after
+
+        with open(trace_path) as handle:
+            trace = json.load(handle)
+        cats = {e.get("cat") for e in trace["traceEvents"]}
+        assert {"frame", "phase", "tile"} <= cats
+
+        with open(metrics_path) as handle:
+            records = [json.loads(line) for line in handle]
+        kinds = [r["record"] for r in records]
+        assert kinds.count("frame") == 6  # 3 frames x 2 modes
+        assert kinds.count("run") == 2
+        assert kinds[-1] == "registry"
+        run = next(r for r in records
+                   if r["record"] == "run" and r["mode"] == "evr")
+        assert "poison_rate" in run["fvp_confusion"]
+        assert "skip_rate" in run["re"]
+
+    def test_run_metrics_csv(self, tmp_path):
+        path = str(tmp_path / "metrics.csv")
+        assert main(["run", "hop", "--modes", "baseline",
+                     "--metrics", path] + self.SMALL) == 0
+        with open(path) as handle:
+            header = handle.readline()
+        assert "fvp_confusion.poison_rate" in header
+
+    def test_run_results_identical_with_observability(self, capsys):
+        argv = ["run", "hop", "--modes", "baseline", "evr"] + self.SMALL
+        assert main(argv) == 0
+        plain = capsys.readouterr().out
+        assert main(argv + ["--trace", os.devnull]) == 0
+        traced = capsys.readouterr().out
+        # The headline table (last 5 lines) is unchanged by tracing.
+        assert traced.splitlines()[-5:] == plain.splitlines()[-5:]
+
+    def test_figure_metrics_export(self, tmp_path, capsys):
+        path = str(tmp_path / "figure.jsonl")
+        assert main(["figure", "fig9", "--benchmarks", "hop",
+                     "--metrics", path] + self.SMALL) == 0
+        with open(path) as handle:
+            records = [json.loads(line) for line in handle]
+        kinds = [r["record"] for r in records]
+        assert "suite-run" in kinds and "suite-summary" in kinds
+        summary = next(r for r in records
+                       if r["record"] == "suite-summary")
+        assert summary["cache_hits"] + summary["cache_misses"] >= 1
+
+    def test_scheduler_closed_when_command_raises(self, monkeypatch):
+        closes = []
+
+        class _SpyScheduler(SerialScheduler):
+            def close(self):
+                closes.append(True)
+                super().close()
+
+        class _ExplodingGPU:
+            def __init__(self, *args, **kwargs):
+                pass
+
+            def render_stream(self, stream):
+                raise RuntimeError("boom")
+
+        monkeypatch.setattr(repro.cli, "make_scheduler",
+                            lambda jobs, profiler=None: _SpyScheduler())
+        monkeypatch.setattr(repro.cli, "GPU", _ExplodingGPU)
+        with pytest.raises(RuntimeError):
+            main(["run", "hop"] + self.SMALL)
+        assert closes  # the with-block released the scheduler anyway
+        assert get_tracer() is NULL_TRACER

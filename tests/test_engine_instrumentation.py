@@ -1,0 +1,88 @@
+"""Edge cases of the engine's instrumentation merge/reduce.
+
+The reducers run once per tile per frame, in a fixed order; these tests
+pin the corner cases that fixed order must survive: empty records,
+missing units, and float ``dram_cycles`` accumulation (where summation
+order changes the result — determinism comes from the engine always
+reducing in tile order, not from the arithmetic being associative).
+"""
+
+from __future__ import annotations
+
+from repro.engine.instrumentation import Instrumentation, merge_unit_counters
+
+
+class TestMergeUnitCounters:
+    def test_merge_into_empty(self):
+        into = {}
+        merge_unit_counters(into, {"l2": {"hits": 3}})
+        assert into == {"l2": {"hits": 3}}
+
+    def test_merge_from_empty_is_identity(self):
+        into = {"l2": {"hits": 3}}
+        merge_unit_counters(into, {})
+        assert into == {"l2": {"hits": 3}}
+
+    def test_merge_disjoint_units_and_counters(self):
+        into = {"l2": {"hits": 1}}
+        merge_unit_counters(into, {"l2": {"misses": 2}, "dram": {"reads": 4}})
+        assert into == {"l2": {"hits": 1, "misses": 2},
+                        "dram": {"reads": 4}}
+
+    def test_merge_returns_into_for_chaining(self):
+        into = {}
+        assert merge_unit_counters(into, {"u": {"c": 1}}) is into
+
+
+class TestInstrumentationMerge:
+    def test_merge_empty_records(self):
+        total = Instrumentation().merge(Instrumentation())
+        assert total.units == {}
+        assert total.dram_cycles == 0.0
+
+    def test_merge_is_in_place_and_chains(self):
+        record = Instrumentation(units={"l2": {"hits": 1}}, dram_cycles=1.0)
+        result = record.merge(
+            Instrumentation(units={"l2": {"hits": 2}}, dram_cycles=0.5)
+        )
+        assert result is record
+        assert record.units == {"l2": {"hits": 3}}
+        assert record.dram_cycles == 1.5
+
+    def test_merge_does_not_mutate_source(self):
+        source = Instrumentation(units={"l2": {"hits": 2}}, dram_cycles=0.5)
+        Instrumentation().merge(source)
+        assert source.units == {"l2": {"hits": 2}}
+        assert source.dram_cycles == 0.5
+
+    def test_reduce_nothing(self):
+        total = Instrumentation.reduce([])
+        assert total.units == {}
+        assert total.dram_cycles == 0.0
+
+    def test_reduce_starts_from_fresh_record(self):
+        records = [Instrumentation(units={"u": {"c": 1}})]
+        first = Instrumentation.reduce(records)
+        second = Instrumentation.reduce(records)
+        assert first.units == second.units
+        assert first.units is not second.units
+
+    def test_reduce_float_accumulation_is_order_sensitive(self):
+        # 1.0 + 1e16 absorbs the 1.0 (1e16 + 1.0 == 1e16), so summing
+        # [1.0, 1e16, -1e16] left-to-right loses the 1.0 while the
+        # reverse order ([-1e16, 1e16, 1.0]) keeps it.  The engine's
+        # determinism therefore rests on reducing in a *fixed* (tile)
+        # order, not on float addition being associative.
+        records = [Instrumentation(dram_cycles=c)
+                   for c in (1.0, 1e16, -1e16)]
+        forward = Instrumentation.reduce(records)
+        backward = Instrumentation.reduce(reversed(records))
+        assert forward.dram_cycles == 0.0
+        assert backward.dram_cycles == 1.0
+
+    def test_reduce_same_order_is_deterministic(self):
+        records = [Instrumentation(dram_cycles=c)
+                   for c in (0.1, 0.2, 0.3, 1e16, -1e16)]
+        results = {Instrumentation.reduce(records).dram_cycles
+                   for _ in range(5)}
+        assert len(results) == 1

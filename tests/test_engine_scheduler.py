@@ -116,5 +116,44 @@ class TestSchedulerProtocol:
         assert default_jobs() == 1
 
 
+class TestSchedulerLifecycle:
+    """Schedulers are context managers and must not leak executors."""
+
+    def test_serial_context_manager(self):
+        with SerialScheduler() as scheduler:
+            assert scheduler.map(_square, [2]) == [4]
+
+    def test_pool_context_closes_executor(self):
+        with ProcessPoolScheduler(2) as pool:
+            pool.map(_square, [1, 2, 3])
+            assert pool._executor is not None
+        assert pool._executor is None
+
+    def test_pool_context_closes_on_exception(self):
+        pool = ProcessPoolScheduler(2)
+        with pytest.raises(RuntimeError):
+            with pool:
+                pool.map(_square, [1, 2, 3])
+                raise RuntimeError("boom")
+        assert pool._executor is None
+
+    def test_close_is_idempotent(self):
+        pool = ProcessPoolScheduler(2)
+        pool.map(_square, [1, 2, 3])
+        pool.close()
+        pool.close()
+        assert pool._executor is None
+
+    def test_map_after_close_recreates_executor(self):
+        pool = ProcessPoolScheduler(2)
+        try:
+            pool.map(_square, [1, 2, 3])
+            pool.close()
+            assert pool.map(_square, [4, 5, 6]) == [16, 25, 36]
+        finally:
+            pool.close()
+        assert pool._executor is None
+
+
 def _square(n: int) -> int:
     return n * n

@@ -1,0 +1,154 @@
+"""Tests for the metrics registry, derived EVR telemetry and exporters."""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.engine.instrumentation import Instrumentation
+from repro.obs import MetricsRegistry, global_registry
+from repro.obs.metrics import (
+    Histogram,
+    flatten_record,
+    fvp_confusion_matrix,
+    re_ratios,
+    write_csv_records,
+    write_jsonl,
+)
+from repro.timing import FrameStats
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("hits")
+        counter.inc()
+        counter.inc(4)
+        assert registry.counter("hits") is counter  # get-or-create
+        assert counter.value == 5
+
+    def test_gauge_last_value_wins(self):
+        gauge = MetricsRegistry().gauge("depth")
+        gauge.set(3.0)
+        gauge.set(1.5)
+        assert gauge.value == 1.5
+
+    def test_histogram_summary(self):
+        histogram = Histogram()
+        for value in (2.0, 8.0, 5.0):
+            histogram.observe(value)
+        assert histogram.summary() == {
+            "count": 3, "sum": 15.0, "min": 2.0, "max": 8.0, "mean": 5.0,
+        }
+
+    def test_empty_histogram_summary_is_finite(self):
+        assert Histogram().summary() == {
+            "count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0,
+        }
+
+    def test_reset_drops_instruments(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc()
+        registry.gauge("b").set(1)
+        registry.histogram("c").observe(1)
+        registry.reset()
+        assert registry.as_dict() == {
+            "counters": {}, "gauges": {}, "histograms": {},
+        }
+
+    def test_global_registry_is_shared(self):
+        assert global_registry() is global_registry()
+
+
+class TestIngestion:
+    def test_ingest_stats_prefixes_counters(self):
+        registry = MetricsRegistry()
+        stats = FrameStats(tiles_total=12, tiles_skipped=3)
+        registry.ingest_stats(stats)
+        assert registry.counter("stats.tiles_total").value == 12
+        assert registry.counter("stats.tiles_skipped").value == 3
+
+    def test_ingest_instrumentation(self):
+        registry = MetricsRegistry()
+        record = Instrumentation(
+            units={"l2": {"hits": 7, "misses": 2}}, dram_cycles=12.5
+        )
+        registry.ingest_instrumentation(record)
+        assert registry.counter("memory.l2.hits").value == 7
+        assert registry.counter("memory.dram_cycles").value == 12.5
+
+
+class TestConfusionMatrix:
+    def test_counts_and_rates(self):
+        stats = FrameStats(
+            mispredicted_visible=2,
+            predicted_occluded_correct=8,
+            predicted_visible_hidden=5,
+            predicted_visible_correct=85,
+        )
+        matrix = fvp_confusion_matrix(stats)
+        assert matrix["predicted_occluded_actually_visible"] == 2
+        assert matrix["predicted_occluded_actually_occluded"] == 8
+        assert matrix["validated"] == 100
+        assert matrix["poison_rate"] == pytest.approx(0.2)
+        assert matrix["accuracy"] == pytest.approx(0.93)
+
+    def test_no_validated_predictions(self):
+        matrix = fvp_confusion_matrix(FrameStats())
+        assert matrix["validated"] == 0
+        assert matrix["poison_rate"] == 0.0
+        assert matrix["accuracy"] == 0.0
+
+    def test_re_ratios(self):
+        stats = FrameStats(
+            tiles_total=20, tiles_skipped=5, signature_checks=20,
+            signature_updates=30, signature_skips=10,
+        )
+        ratios = re_ratios(stats)
+        assert ratios["skip_rate"] == pytest.approx(0.25)
+        assert ratios["check_rate"] == pytest.approx(1.0)
+        assert ratios["signature_filter_rate"] == pytest.approx(0.25)
+
+    def test_re_ratios_empty_stats(self):
+        ratios = re_ratios(FrameStats())
+        assert ratios["skip_rate"] == 0.0
+        assert ratios["signature_filter_rate"] == 0.0
+
+
+class TestExporters:
+    RECORDS = [
+        {"record": "frame", "frame": 0, "re": {"skip_rate": 0.25}},
+        {"record": "run", "frames": 3, "stats": {"tiles_total": 60}},
+    ]
+
+    def test_flatten_record(self):
+        flat = flatten_record(self.RECORDS[0])
+        assert flat == {"record": "frame", "frame": 0,
+                        "re.skip_rate": 0.25}
+
+    def test_jsonl_round_trip(self):
+        buffer = io.StringIO()
+        write_jsonl(self.RECORDS, buffer)
+        lines = buffer.getvalue().splitlines()
+        assert [json.loads(line) for line in lines] == self.RECORDS
+
+    def test_jsonl_to_path(self, tmp_path):
+        path = str(tmp_path / "metrics.jsonl")
+        write_jsonl(self.RECORDS, path)
+        with open(path) as handle:
+            assert len(handle.readlines()) == 2
+
+    def test_csv_union_header(self):
+        buffer = io.StringIO()
+        write_csv_records(self.RECORDS, buffer)
+        rows = list(csv.DictReader(io.StringIO(buffer.getvalue())))
+        assert set(rows[0]) == {
+            "record", "frame", "re.skip_rate", "frames",
+            "stats.tiles_total",
+        }
+        assert rows[0]["re.skip_rate"] == "0.25"
+        assert rows[0]["frames"] == ""  # missing keys stay blank
+        assert rows[1]["stats.tiles_total"] == "60"
