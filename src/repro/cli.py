@@ -17,6 +17,18 @@ Subcommands:
 ``REPRO_JOBS`` environment variable) to fan independent simulations out
 over worker processes; results are bit-identical to serial runs.
 
+Resilience (see :mod:`repro.resilience`): the same three subcommands
+accept ``--retries N`` / ``--job-timeout S`` to arm the resilient
+scheduler (bounded retries with deterministic backoff, per-job timeouts
+and broken-pool recovery under ``--jobs``), and ``--inject-faults SPEC``
+(or ``$REPRO_FAULTS``) with ``--fault-seed`` to exercise those paths
+deterministically.  ``figure`` and ``report`` additionally checkpoint
+every finished (benchmark, mode) cell to a journal in the cache
+directory; ``--resume`` replays it so an interrupted sweep recomputes
+only unfinished cells, and ``--strict`` turns permanently failed cells
+into a non-zero exit (the default is graceful degradation: the sweep
+completes with failed cells rendered as ``nan``).
+
 Observability (see :mod:`repro.obs`): every subcommand takes ``-v`` /
 ``--verbose`` and ``-q`` / ``--quiet`` *after* the subcommand name;
 ``run``, ``figure``, ``report`` and ``profile`` additionally take
@@ -70,6 +82,7 @@ from .obs.log import verbosity_from_flags
 from .obs.metrics import frame_record, run_record
 from .obs.profile import phase_breakdown
 from .pipeline import GPU, PipelineMode
+from .resilience import FaultPlan, ResilientScheduler, RetryPolicy
 from .scenes import BENCHMARKS, benchmark_stream
 from .validate import validate_stream
 
@@ -127,6 +140,85 @@ def _add_jobs_argument(parser: argparse.ArgumentParser) -> None:
              "(default: $REPRO_JOBS or 1 = serial; "
              "negative = all CPU cores)",
     )
+
+
+def _add_resilience_arguments(parser: argparse.ArgumentParser,
+                              suite: bool = False) -> None:
+    """Fault-tolerance flags (see :mod:`repro.resilience`).
+
+    ``suite`` adds the checkpoint/exit-code flags that only make sense
+    for suite sweeps (``figure``, ``report``).
+    """
+    parser.add_argument(
+        "--inject-faults", default="", metavar="SPEC",
+        help="deterministic fault injection, e.g. 'crash:0.2,hang:0.1' "
+             "(kinds: raise, corrupt, hang, crash; default: $REPRO_FAULTS)",
+    )
+    parser.add_argument(
+        "--fault-seed", type=int, default=0, metavar="N",
+        help="seed decorrelating otherwise-identical fault plans",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="max attempts per job (arms the resilient scheduler; "
+             "default 4 once armed)",
+    )
+    parser.add_argument(
+        "--job-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-job wall-clock timeout under a process pool "
+             "(arms the resilient scheduler)",
+    )
+    if suite:
+        parser.add_argument(
+            "--resume", action="store_true",
+            help="replay completed (benchmark, mode) cells from the "
+                 "checkpoint journal instead of recomputing them",
+        )
+        parser.add_argument(
+            "--strict", action="store_true",
+            help="exit non-zero if any suite cell failed permanently "
+                 "(default: complete with the cell marked failed)",
+        )
+
+
+def _resilience_from_args(
+    args: argparse.Namespace,
+) -> tuple:
+    """(RetryPolicy, FaultPlan) from the parsed flags, or (None, None)
+    when no resilience flag was given (the historical fail-fast path)."""
+    spec = getattr(args, "inject_faults", "") or os.environ.get(
+        "REPRO_FAULTS", ""
+    )
+    retries = getattr(args, "retries", None)
+    timeout = getattr(args, "job_timeout", None)
+    if not spec and retries is None and timeout is None:
+        return None, None
+    policy = RetryPolicy(
+        max_attempts=retries if retries is not None else 4,
+        timeout_seconds=timeout,
+    )
+    # An injected hang must outlast the timeout (so the timeout path
+    # actually fires) but must never wedge an untimed run for long.
+    hang_seconds = 2.0 * timeout if timeout else 30.0
+    plan = FaultPlan.parse(spec, seed=getattr(args, "fault_seed", 0),
+                           hang_seconds=hang_seconds)
+    return policy, plan
+
+
+def _report_failures(runner: SuiteRunner, out: Output) -> int:
+    """Print any permanently failed cells; the exit code honours
+    ``--strict`` (graceful degradation otherwise)."""
+    if not runner.failures:
+        return 0
+    for (benchmark, mode), failure in sorted(
+        runner.failures.items(), key=lambda kv: (kv[0][0], kv[0][1].value)
+    ):
+        out.result(f"FAILED {benchmark}:{mode.value} "
+                   f"after {failure.attempts} attempt(s): {failure.message}")
+    strict = getattr(runner, "strict", False)
+    out.result(f"{len(runner.failures)} suite cell(s) failed permanently"
+               + ("" if strict else " (exit 0; use --strict to fail)"))
+    return 1 if strict else 0
 
 
 def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
@@ -202,10 +294,17 @@ def _command_run(args: argparse.Namespace) -> int:
     records: List[Dict[str, Any]] = []
     baseline_cycles: Optional[float] = None
     global_registry().reset()
+    policy, plan = _resilience_from_args(args)
     with _command_tracer(args, out) as tracer:
         profiler = SchedulerProfiler(tracer) if tracer is not None else None
-        with make_scheduler(default_jobs(args.jobs),
-                            profiler=profiler) as scheduler:
+        scheduler = make_scheduler(default_jobs(args.jobs),
+                                   profiler=profiler)
+        if policy is not None:
+            # Tile-level resilience: per-frame tile jobs are retried
+            # (and, under a pool, timed out) individually.
+            scheduler = ResilientScheduler(scheduler, policy=policy,
+                                           fault_plan=plan)
+        with scheduler:
             for mode in modes:
                 out.detail(f"simulating {args.benchmark}:{mode.value} "
                            f"({config.frames} frames, {scheduler!r})")
@@ -255,11 +354,16 @@ def _command_figure(args: argparse.Namespace) -> int:
     out = _make_output(args)
     config = _config_from_args(args)
     global_registry().reset()
+    policy, plan = _resilience_from_args(args)
     with _command_tracer(args, out) as tracer:
         profiler = SchedulerProfiler(tracer) if tracer is not None else None
         with SuiteRunner(config, jobs=default_jobs(args.jobs),
                          cache_dir=default_cache_dir(),
-                         profiler=profiler) as runner:
+                         profiler=profiler,
+                         retry_policy=policy, fault_plan=plan,
+                         journal_dir=default_cache_dir(),
+                         resume=args.resume,
+                         strict=args.strict) as runner:
             subset = args.benchmarks or None
             result = _FIGURES[args.figure](runner, subset)
             out.result(result.render())
@@ -269,7 +373,8 @@ def _command_figure(args: argparse.Namespace) -> int:
                 records.append({"record": "registry",
                                 **global_registry().as_dict()})
                 _write_metrics(records, args.metrics, out)
-    return 0
+            status = _report_failures(runner, out)
+    return status
 
 
 def _command_render(args: argparse.Namespace) -> int:
@@ -295,11 +400,16 @@ def _command_report(args: argparse.Namespace) -> int:
     out = _make_output(args)
     config = _config_from_args(args)
     global_registry().reset()
+    policy, plan = _resilience_from_args(args)
     with _command_tracer(args, out) as tracer:
         profiler = SchedulerProfiler(tracer) if tracer is not None else None
         with SuiteRunner(config, jobs=default_jobs(args.jobs),
                          cache_dir=default_cache_dir(),
-                         profiler=profiler) as runner:
+                         profiler=profiler,
+                         retry_policy=policy, fault_plan=plan,
+                         journal_dir=default_cache_dir(),
+                         resume=args.resume,
+                         strict=args.strict) as runner:
             report = render_report(runner)
             summary = runner.cache_summary()
             records = (runner.metrics_records() if args.metrics else [])
@@ -313,7 +423,7 @@ def _command_report(args: argparse.Namespace) -> int:
     if args.metrics:
         records.append({"record": "registry", **global_registry().as_dict()})
         _write_metrics(records, args.metrics, out)
-    return 0
+    return _report_failures(runner, out)
 
 
 def _command_profile(args: argparse.Namespace) -> int:
@@ -421,6 +531,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_config_arguments(run_parser)
     _add_jobs_argument(run_parser)
+    _add_resilience_arguments(run_parser)
     _add_obs_arguments(run_parser)
 
     figure_parser = subparsers.add_parser(
@@ -434,6 +545,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_config_arguments(figure_parser)
     _add_jobs_argument(figure_parser)
+    _add_resilience_arguments(figure_parser, suite=True)
     _add_obs_arguments(figure_parser)
 
     render_parser = subparsers.add_parser(
@@ -454,6 +566,7 @@ def build_parser() -> argparse.ArgumentParser:
                                help="write to a file instead of stdout")
     _add_config_arguments(report_parser)
     _add_jobs_argument(report_parser)
+    _add_resilience_arguments(report_parser, suite=True)
     _add_obs_arguments(report_parser)
 
     profile_parser = subparsers.add_parser(

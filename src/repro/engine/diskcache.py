@@ -8,14 +8,20 @@ distilled metrics, keyed by a digest of everything that can change them:
 benchmark, mode, configuration, frame count and the simulator's own source
 code (so a code change can never serve stale numbers).
 
-The cache is deliberately forgiving: a truncated, corrupt or
-version-skewed entry is treated as a miss and recomputed, never an error.
+Entries are self-verifying: the pickle payload is followed by a
+CRC32 + length + magic trailer (see :func:`_encode_entry`), so ``get``
+can distinguish a healthy entry from a truncated write, flipped bits or
+a foreign/pre-trailer file.  The cache stays deliberately forgiving — a
+bad entry is treated as a miss and recomputed, never an error — but a
+bad entry is no longer silently unlinked: it is moved into a
+``quarantine/`` subdirectory for post-mortem and a warning naming the
+key is logged through :mod:`repro.obs.log`.
 
-Cache traffic is observable: every ``get``/``put`` increments the
+Cache traffic is observable: ``get``/``put`` increment the
 ``cache.hits`` / ``cache.misses`` / ``cache.evictions`` / ``cache.puts``
-counters in the process-wide metrics registry and emits a span into the
-process-wide tracer (no-ops unless ``--trace``/``--metrics`` enabled
-them).
+/ ``cache.quarantined`` counters in the process-wide metrics registry
+and emit spans into the process-wide tracer (no-ops unless
+``--trace``/``--metrics`` enabled them).
 """
 
 from __future__ import annotations
@@ -23,14 +29,28 @@ from __future__ import annotations
 import hashlib
 import os
 import pickle
+import struct
 import tempfile
-from typing import Any, Optional
+import zlib
+from typing import Any, Optional, Tuple
 
+from ..errors import CacheCorruptionError
+from ..obs.log import get_logger
 from ..obs.metrics import global_registry
 from ..obs.trace import get_tracer
 
+logger = get_logger("engine.diskcache")
+
 _ENV_CACHE_DIR = "REPRO_CACHE_DIR"
 DEFAULT_CACHE_DIRNAME = ".repro_cache"
+QUARANTINE_DIRNAME = "quarantine"
+
+#: Entry trailer: CRC32 and byte length of the pickle payload, then a
+#: magic tag naming the on-disk format version.  Bumping the magic
+#: quarantines (rather than misreads) every older entry.
+_TRAILER = struct.Struct("<IQ")
+_MAGIC = b"RPROCAC1"
+_TRAILER_BYTES = _TRAILER.size + len(_MAGIC)
 
 _code_version_digest: Optional[str] = None
 
@@ -64,11 +84,41 @@ def code_version() -> str:
     return _code_version_digest
 
 
+def _encode_entry(payload: bytes) -> bytes:
+    """Frame a pickle payload with its integrity trailer."""
+    return payload + _TRAILER.pack(
+        zlib.crc32(payload) & 0xFFFFFFFF, len(payload)
+    ) + _MAGIC
+
+
+def _decode_entry(blob: bytes) -> bytes:
+    """The verified pickle payload of ``blob``.
+
+    Raises:
+        CacheCorruptionError: missing/foreign trailer, truncated
+            payload, or checksum mismatch.
+    """
+    if len(blob) < _TRAILER_BYTES or not blob.endswith(_MAGIC):
+        raise CacheCorruptionError(
+            "missing integrity trailer (foreign or pre-trailer entry)"
+        )
+    payload = blob[:-_TRAILER_BYTES]
+    crc, length = _TRAILER.unpack(blob[-_TRAILER_BYTES:-len(_MAGIC)])
+    if len(payload) != length:
+        raise CacheCorruptionError(
+            f"truncated payload ({len(payload)} bytes, expected {length})"
+        )
+    if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+        raise CacheCorruptionError("payload checksum mismatch")
+    return payload
+
+
 class DiskCache:
-    """A tiny content-addressed pickle store.
+    """A tiny content-addressed pickle store with verified entries.
 
     Entries are written atomically (temp file + rename) so a crashed or
-    parallel writer can only ever leave a complete entry or none.
+    parallel writer can only ever leave a complete entry or none; reads
+    verify the integrity trailer before unpickling.
     """
 
     def __init__(self, directory: str):
@@ -89,6 +139,10 @@ class DiskCache:
         """Filesystem path of ``key``'s entry (present or not)."""
         return os.path.join(self.directory, f"{key}.pkl")
 
+    def quarantine_dir(self) -> str:
+        """Where unreadable entries are moved for post-mortem."""
+        return os.path.join(self.directory, QUARANTINE_DIRNAME)
+
     # -- operations ---------------------------------------------------------
 
     def get(self, key: str) -> Optional[Any]:
@@ -98,18 +152,26 @@ class DiskCache:
         with get_tracer().span("cache.get", category="cache", key=key[:12]):
             try:
                 with open(path, "rb") as handle:
-                    value = pickle.load(handle)
+                    blob = handle.read()
             except FileNotFoundError:
                 counters.counter("cache.misses").inc()
                 return None
-            except Exception:
-                # Truncated/corrupt entry: drop it and recompute.
+            except OSError as error:
                 counters.counter("cache.misses").inc()
-                counters.counter("cache.evictions").inc()
-                try:
-                    os.remove(path)
-                except OSError:
-                    pass
+                logger.warning("cache entry %s unreadable: %r", key[:12],
+                               error)
+                return None
+            try:
+                value = pickle.loads(_decode_entry(blob))
+            except CacheCorruptionError as error:
+                self._quarantine(key, path, str(error))
+                counters.counter("cache.misses").inc()
+                return None
+            except Exception as error:
+                # The trailer verified but the pickle itself would not
+                # load (e.g. written by an incompatible class layout).
+                self._quarantine(key, path, f"unpicklable payload: {error!r}")
+                counters.counter("cache.misses").inc()
                 return None
             counters.counter("cache.hits").inc()
             return value
@@ -123,8 +185,9 @@ class DiskCache:
         with get_tracer().span("cache.put", category="cache", key=key[:12]):
             try:
                 with os.fdopen(fd, "wb") as handle:
-                    pickle.dump(value, handle,
-                                protocol=pickle.HIGHEST_PROTOCOL)
+                    handle.write(_encode_entry(
+                        pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+                    ))
                 os.replace(tmp_path, self.path_for(key))
             except BaseException:
                 try:
@@ -134,8 +197,35 @@ class DiskCache:
                 raise
         global_registry().counter("cache.puts").inc()
 
+    def _quarantine(self, key: str, path: str, reason: str) -> None:
+        """Move a bad entry aside (never silently unlink it)."""
+        registry = global_registry()
+        registry.counter("cache.evictions").inc()
+        quarantine = self.quarantine_dir()
+        destination = os.path.join(quarantine, os.path.basename(path))
+        try:
+            os.makedirs(quarantine, exist_ok=True)
+            os.replace(path, destination)
+        except OSError:
+            # Quarantine itself failed (permissions, cross-device...):
+            # fall back to unlinking so the bad entry cannot wedge us.
+            destination = "<removed>"
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+        registry.counter("cache.quarantined").inc()
+        get_tracer().instant("cache.quarantine", category="cache",
+                             key=key[:12], reason=reason)
+        logger.warning("cache entry %s corrupt (%s); quarantined to %s",
+                       key[:12], reason, destination)
+
     def clear(self) -> int:
-        """Delete every cache entry; returns the number removed."""
+        """Delete every cache entry; returns the number removed.
+
+        Quarantined entries are kept — they exist for post-mortem and
+        are only removed by deleting ``quarantine/`` explicitly.
+        """
         removed = 0
         try:
             entries = os.listdir(self.directory)
@@ -156,6 +246,16 @@ class DiskCache:
             return sum(
                 1 for name in os.listdir(self.directory)
                 if name.endswith(".pkl") and not name.startswith(".tmp_")
+            )
+        except FileNotFoundError:
+            return 0
+
+    def quarantined(self) -> int:
+        """Number of quarantined (corrupt) entries awaiting post-mortem."""
+        try:
+            return sum(
+                1 for name in os.listdir(self.quarantine_dir())
+                if name.endswith(".pkl")
             )
         except FileNotFoundError:
             return 0

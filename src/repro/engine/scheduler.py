@@ -148,9 +148,48 @@ class ProcessPoolScheduler:
         return list(executor.map(fn, items, chunksize=chunksize))
 
     def close(self) -> None:
-        if self._executor is not None:
-            self._executor.shutdown()
-            self._executor = None
+        """Shut the executor down gracefully (idempotent).
+
+        The executor reference is dropped *before* shutdown so a failure
+        mid-shutdown (or a re-entrant call) can neither leak the old
+        executor nor double-close it.  ``getattr`` guards the case where
+        ``__init__`` raised before ``_executor`` was ever assigned.
+        """
+        executor = getattr(self, "_executor", None)
+        self._executor = None
+        if executor is not None:
+            executor.shutdown()
+
+    def terminate(self) -> None:
+        """Forcibly kill the pool, hung workers included (idempotent).
+
+        Unlike :meth:`close`, this never waits on workers: a worker
+        stuck in an endless job would block ``shutdown()`` forever, so
+        the resilience layer uses this to reclaim the pool before
+        rebuilding it.  Reaches into the executor's ``_processes`` —
+        stdlib ``ProcessPoolExecutor`` offers no public kill switch —
+        and degrades to a plain shutdown if that internal ever moves.
+        """
+        executor = getattr(self, "_executor", None)
+        self._executor = None
+        if executor is None:
+            return
+        processes = list((getattr(executor, "_processes", None) or {})
+                         .values())
+        try:
+            executor.shutdown(wait=False, cancel_futures=True)
+        except Exception:
+            pass
+        for process in processes:
+            try:
+                process.kill()
+            except Exception:
+                pass
+        for process in processes:
+            try:
+                process.join(timeout=1.0)
+            except Exception:
+                pass
 
     def __enter__(self) -> "ProcessPoolScheduler":
         return self

@@ -34,3 +34,49 @@ class SceneError(ReproError):
 
 class MemoryModelError(ReproError):
     """Invalid parameters or illegal access in the memory-system model."""
+
+
+class ResilienceError(ReproError):
+    """Base class for failures surfaced by the fault-tolerant execution
+    layer (:mod:`repro.resilience`)."""
+
+
+class InjectedFaultError(ResilienceError):
+    """A deliberate failure raised by the fault-injection harness.
+
+    Only ever raised when a :class:`repro.resilience.FaultPlan` is armed
+    (``--inject-faults`` / ``REPRO_FAULTS``); production runs never see it.
+    """
+
+
+class JobTimeoutError(ResilienceError):
+    """A scheduled job exceeded its per-job wall-clock timeout."""
+
+
+class WorkerCrashError(ResilienceError):
+    """A worker process died (or the pool broke) while a job was in
+    flight.  The job itself may have been innocent: when a pool breaks,
+    every in-flight job is aborted and charged one attempt."""
+
+
+class JobRetryExhaustedError(ResilienceError):
+    """A job failed on every permitted attempt.
+
+    Attributes:
+        key: the scheduler's stable identifier for the job.
+        attempts: how many executions were tried.
+        last_error: ``repr`` of the final attempt's failure.
+    """
+
+    def __init__(self, key: str, attempts: int, last_error: str):
+        super().__init__(
+            f"job {key} failed after {attempts} attempt(s): {last_error}"
+        )
+        self.key = key
+        self.attempts = attempts
+        self.last_error = last_error
+
+
+class CacheCorruptionError(ResilienceError):
+    """A disk-cache entry failed its integrity check (truncated payload,
+    checksum mismatch, or a foreign/pre-trailer file format)."""

@@ -14,11 +14,19 @@ top of each other:
 * an optional :class:`~repro.engine.ProcessPoolScheduler` fan-out, so the
   independent (benchmark, mode) simulations of a suite sweep run in
   parallel (``--jobs N`` / ``REPRO_JOBS``).
+
+When a retry policy or fault plan is armed (``--retries``,
+``--job-timeout``, ``--inject-faults``) the fan-out additionally runs
+under a :class:`~repro.resilience.ResilientScheduler`, each settled cell
+is checkpointed to a crash-durable :class:`~repro.resilience.RunJournal`
+(``--resume`` replays it), and permanently failed cells degrade to NaN
+placeholders instead of aborting the sweep.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import os
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
@@ -28,7 +36,23 @@ from ..engine.scheduler import Scheduler, make_scheduler
 from ..obs.profile import SchedulerProfiler
 from ..obs.trace import get_tracer
 from ..pipeline import GPU, PipelineMode, RunResult
+from ..resilience import (
+    FaultPlan,
+    JobFailure,
+    ResilientScheduler,
+    RetryPolicy,
+    RunJournal,
+)
 from ..scenes import benchmark_names, benchmark_stream
+
+
+class _NaNBreakdown(dict):
+    """Energy breakdown of a failed run: every component reads as NaN,
+    so figure arithmetic over a failed cell yields NaN instead of a
+    ``KeyError`` — the cell renders as ``nan`` and is visibly broken."""
+
+    def __missing__(self, key: str) -> float:
+        return float("nan")
 
 
 @dataclass(frozen=True)
@@ -47,6 +71,9 @@ class RunMetrics:
         overshading_kills: Early-Z discarded fragments.
         predicted_occluded_rate: fraction of (primitive, tile) pairs EVR
             predicted occluded (0 for non-EVR modes).
+        error: empty for a real run; the failure description for a cell
+            whose simulation failed permanently (graceful degradation —
+            all numeric fields are then NaN).
     """
 
     benchmark: str
@@ -59,10 +86,34 @@ class RunMetrics:
     redundant_tile_rate: float
     overshading_kills: int
     predicted_occluded_rate: float
+    error: str = ""
 
     @property
     def total_cycles(self) -> float:
         return self.geometry_cycles + self.raster_cycles
+
+    @property
+    def failed(self) -> bool:
+        return bool(self.error)
+
+
+def failed_metrics(benchmark: str, mode: PipelineMode,
+                   error: str) -> RunMetrics:
+    """The NaN-valued placeholder for a cell that failed permanently."""
+    nan = float("nan")
+    return RunMetrics(
+        benchmark=benchmark,
+        mode=mode.value,
+        geometry_cycles=nan,
+        raster_cycles=nan,
+        energy_joules=nan,
+        energy_breakdown=_NaNBreakdown(),
+        shaded_fragments_per_pixel=nan,
+        redundant_tile_rate=nan,
+        overshading_kills=0,
+        predicted_occluded_rate=nan,
+        error=error,
+    )
 
 
 def metrics_from_result(benchmark: str, mode: PipelineMode,
@@ -130,42 +181,107 @@ class SuiteRunner:
             disables disk caching (the in-memory memo always applies).
         profiler: optional :class:`~repro.obs.SchedulerProfiler`
             attached to the suite scheduler (observability only).
+        retry_policy: arming this (or ``fault_plan``) routes the suite
+            fan-out through a :class:`~repro.resilience.ResilientScheduler`
+            — per-job timeouts, bounded retries, pool rebuilds and
+            graceful degradation.  ``None`` (default) preserves the
+            historical fail-fast behaviour bit-for-bit.
+        fault_plan: deterministic fault injection for the suite jobs
+            (``--inject-faults``); implies a default retry policy.
+        journal_dir: directory for the crash-durable checkpoint journal;
+            ``None`` disables journaling.
+        resume: replay completed cells from the journal before running
+            (``--resume``); ignored when ``journal_dir`` is None.
+        strict: when True the caller is expected to exit non-zero if
+            :attr:`failures` is non-empty; the runner itself always
+            completes the sweep either way.
     """
 
     def __init__(self, config: Optional[GPUConfig] = None,
                  frames: Optional[int] = None,
                  jobs: Optional[int] = None,
                  cache_dir: Optional[str] = None,
-                 profiler: Optional[SchedulerProfiler] = None):
+                 profiler: Optional[SchedulerProfiler] = None,
+                 retry_policy: Optional[RetryPolicy] = None,
+                 fault_plan: Optional[FaultPlan] = None,
+                 journal_dir: Optional[str] = None,
+                 resume: bool = False,
+                 strict: bool = False):
         self.config = config or GPUConfig.default()
         self.frames = frames
         self.jobs = jobs or 1
         self.profiler = profiler
+        self.retry_policy = retry_policy
+        self.fault_plan = fault_plan
+        self.strict = strict
         self._cache: Dict[Tuple[str, PipelineMode], RunMetrics] = {}
         self._disk = DiskCache(cache_dir) if cache_dir else None
         self._scheduler: Optional[Scheduler] = None
         self.cache_hits = 0
         self.cache_misses = 0
+        self.journal_hits = 0
+        self.failures: Dict[Tuple[str, PipelineMode], JobFailure] = {}
+        self._journal: Optional[RunJournal] = None
+        if journal_dir:
+            suite_key = DiskCache.make_key(
+                "suite-journal", self.config, self.frames, code_version()
+            )
+            self._journal = RunJournal(
+                os.path.join(journal_dir, f"journal-{suite_key[:16]}.jsonl"),
+                suite_key,
+            )
+            if resume:
+                self._replay_journal()
+            self._journal.open(fresh=not resume)
+
+    @property
+    def resilient(self) -> bool:
+        """Whether suite fan-out runs under the resilient scheduler."""
+        return self.retry_policy is not None or self.fault_plan is not None
 
     # -- lifecycle ----------------------------------------------------------
 
     def _suite_scheduler(self) -> Scheduler:
         if self._scheduler is None:
-            self._scheduler = make_scheduler(self.jobs,
-                                             profiler=self.profiler)
+            scheduler = make_scheduler(self.jobs, profiler=self.profiler)
+            if self.resilient:
+                scheduler = ResilientScheduler(
+                    scheduler,
+                    policy=self.retry_policy,
+                    fault_plan=self.fault_plan,
+                )
+            self._scheduler = scheduler
         return self._scheduler
 
     def close(self) -> None:
-        """Release pooled workers (idempotent; serial runners are free)."""
+        """Release pooled workers and the journal (idempotent)."""
         if self._scheduler is not None:
             self._scheduler.close()
             self._scheduler = None
+        if self._journal is not None:
+            self._journal.close()
 
     def __enter__(self) -> "SuiteRunner":
         return self
 
     def __exit__(self, *exc) -> None:
         self.close()
+
+    # -- checkpoint journal --------------------------------------------------
+
+    def _replay_journal(self) -> None:
+        """Seed the in-memory memo from the journal's completed cells."""
+        assert self._journal is not None
+        for (benchmark, mode_value), entry in self._journal.load().items():
+            if entry.get("status") != "ok":
+                continue  # failed cells are retried on resume
+            try:
+                mode = PipelineMode(mode_value)
+                metrics = RunMetrics(**entry["metrics"])
+            except (KeyError, TypeError, ValueError):
+                continue  # journal written by an incompatible layout
+            self._cache[(benchmark, mode)] = metrics
+            self.journal_hits += 1
 
     # -- disk cache ---------------------------------------------------------
 
@@ -189,13 +305,34 @@ class SuiteRunner:
         self._cache[key] = metrics
         if to_disk and self._disk is not None:
             self._disk.put(self._disk_key(*key), metrics)
+        if to_disk and self._journal is not None:
+            self._journal.record_ok(key[0], key[1].value,
+                                    dataclasses.asdict(metrics))
+
+    def _record_failure(self, key: Tuple[str, PipelineMode],
+                        failure: JobFailure) -> None:
+        """Graceful degradation: the cell completes as a NaN placeholder
+        and the sweep carries on; ``--strict`` turns it into a non-zero
+        exit at the CLI layer."""
+        self.failures[key] = failure
+        self._cache[key] = failed_metrics(key[0], key[1], failure.message)
+        if self._journal is not None:
+            self._journal.record_failed(key[0], key[1].value,
+                                        failure.message)
 
     def cache_summary(self) -> str:
         """One-line disk-cache report for script output."""
         if self._disk is None:
-            return "run cache: disabled"
-        return (f"run cache: {self.cache_hits} hits, "
-                f"{self.cache_misses} misses ({self._disk.directory})")
+            summary = "run cache: disabled"
+        else:
+            summary = (f"run cache: {self.cache_hits} hits, "
+                       f"{self.cache_misses} misses "
+                       f"({self._disk.directory})")
+        if self.journal_hits:
+            summary += f"; journal: {self.journal_hits} cells resumed"
+        if self.failures:
+            summary += f"; {len(self.failures)} cells FAILED"
+        return summary
 
     def metrics_records(self) -> List[Dict[str, Any]]:
         """Every memoized run as a ``--metrics`` export record, plus one
@@ -213,6 +350,12 @@ class SuiteRunner:
             "jobs": self.jobs,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
+            "journal_hits": self.journal_hits,
+            "failures": len(self.failures),
+            "failed_cells": sorted(
+                f"{benchmark}:{mode.value}"
+                for benchmark, mode in self.failures
+            ),
         })
         return records
 
@@ -252,11 +395,27 @@ class SuiteRunner:
 
         if missing:
             self.cache_misses += len(missing)
-            if self.jobs > 1 and len(missing) > 1:
-                payloads = [
-                    (benchmark, mode, self.config, self.frames)
-                    for benchmark, mode in missing
-                ]
+            payloads = [
+                (benchmark, mode, self.config, self.frames)
+                for benchmark, mode in missing
+            ]
+            if self.resilient:
+                # Supervised fan-out: each cell settles (and is
+                # checkpointed) independently; a permanently failed
+                # cell becomes a NaN placeholder instead of aborting
+                # the sweep.
+                def _settle(index: int, value: Any) -> None:
+                    if isinstance(value, JobFailure):
+                        self._record_failure(missing[index], value)
+                    else:
+                        self._store(missing[index], value, to_disk=True)
+
+                with get_tracer().span("suite.map", category="harness",
+                                       runs=len(missing)):
+                    self._suite_scheduler().map_resilient(
+                        _run_pair, payloads, on_result=_settle
+                    )
+            elif self.jobs > 1 and len(missing) > 1:
                 with get_tracer().span("suite.map", category="harness",
                                        runs=len(missing)):
                     results = self._suite_scheduler().map(

@@ -1,0 +1,212 @@
+"""Deterministic, seedable fault injection for the execution engine.
+
+A :class:`FaultPlan` decides, for every (job, attempt) pair, whether that
+execution should misbehave and how.  Decisions are pure functions of
+``(seed, kind, key, attempt)`` — the same plan on the same run produces
+the same faults every time, which is what lets CI exercise every failure
+path reproducibly and lets a killed-and-resumed run be compared against
+an uninterrupted one.
+
+Four fault kinds, mirroring how real suite runs die:
+
+========  ==============================================================
+raise     the job raises :class:`~repro.errors.InjectedFaultError`
+corrupt   the job completes but returns a :class:`CorruptedResult`
+          sentinel in place of its real output
+hang      the job sleeps for ``hang_seconds`` before completing
+          normally (long enough to trip a per-job timeout when one is
+          armed; merely slow otherwise — an injected hang can never
+          wedge a run forever)
+crash     the job kills its worker process with ``os._exit`` (the pool
+          breaks); in-process execution converts this to a ``raise``
+          so the parent can never kill itself
+========  ==============================================================
+
+Plans are parsed from ``--inject-faults``/``REPRO_FAULTS`` specs such as
+``"crash:0.2,hang:0.1"`` (kind:rate pairs, rates in [0, 1]).  The retry
+machinery re-draws per attempt, so a job that crashed on attempt 1 will
+usually succeed on attempt 2 — exactly the transient-fault model the
+resilient scheduler is built to absorb.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+from typing import Any, Callable, Dict, Mapping, Optional, Tuple
+
+from ..errors import InjectedFaultError
+
+#: Recognized fault kinds, in the (fixed) order they are drawn.
+FAULT_KINDS = ("raise", "corrupt", "hang", "crash")
+
+#: Worker exit code used by injected crashes (BSD's EX_SOFTWARE).
+CRASH_EXIT_CODE = 70
+
+
+def stable_unit(text: str) -> float:
+    """A deterministic pseudo-random float in ``[0, 1)`` drawn from
+    ``text`` — the same text yields the same draw on every platform,
+    process and Python version (unlike ``hash``)."""
+    digest = hashlib.sha256(text.encode()).digest()
+    return int.from_bytes(digest[:8], "big") / 2.0 ** 64
+
+
+class CorruptedResult:
+    """Sentinel standing in for a job result mangled by a corrupt fault.
+
+    The resilient scheduler recognizes instances and treats them as a
+    failed attempt; anything else receiving one would crash loudly
+    rather than silently propagate garbage.
+    """
+
+    __slots__ = ("key", "attempt")
+
+    def __init__(self, key: str, attempt: int):
+        self.key = key
+        self.attempt = attempt
+
+    def __repr__(self) -> str:
+        return f"CorruptedResult(key={self.key!r}, attempt={self.attempt})"
+
+
+class FaultPlan:
+    """Deterministic fault schedule: kind -> injection rate.
+
+    Args:
+        rates: mapping of fault kind (see :data:`FAULT_KINDS`) to the
+            per-attempt injection probability in ``[0, 1]``.
+        seed: decorrelates otherwise-identical plans.
+        hang_seconds: how long an injected hang sleeps.
+    """
+
+    def __init__(self, rates: Mapping[str, float], seed: int = 0,
+                 hang_seconds: float = 30.0):
+        for kind, rate in rates.items():
+            if kind not in FAULT_KINDS:
+                raise ValueError(
+                    f"unknown fault kind {kind!r} "
+                    f"(expected one of {', '.join(FAULT_KINDS)})"
+                )
+            if not 0.0 <= float(rate) <= 1.0:
+                raise ValueError(
+                    f"fault rate for {kind!r} must be in [0, 1], "
+                    f"got {rate!r}"
+                )
+        if hang_seconds <= 0:
+            raise ValueError("hang_seconds must be positive")
+        self.rates: Dict[str, float] = {
+            kind: float(rates[kind]) for kind in FAULT_KINDS if kind in rates
+        }
+        self.seed = seed
+        self.hang_seconds = float(hang_seconds)
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def parse(cls, spec: str, seed: int = 0,
+              hang_seconds: float = 30.0) -> Optional["FaultPlan"]:
+        """Parse a ``"crash:0.2,hang:0.1"`` style spec; ``""`` -> None."""
+        spec = (spec or "").strip()
+        if not spec:
+            return None
+        rates: Dict[str, float] = {}
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            kind, colon, rate_text = part.partition(":")
+            if not colon:
+                raise ValueError(
+                    f"malformed fault spec {part!r} (expected kind:rate)"
+                )
+            try:
+                rates[kind.strip()] = float(rate_text)
+            except ValueError:
+                raise ValueError(
+                    f"malformed fault rate in {part!r}"
+                ) from None
+        return cls(rates, seed=seed, hang_seconds=hang_seconds)
+
+    def describe(self) -> str:
+        """The plan as a round-trippable spec string."""
+        return ",".join(f"{kind}:{rate:g}"
+                        for kind, rate in self.rates.items())
+
+    # -- decisions -----------------------------------------------------------
+
+    def decide(self, key: str, attempt: int) -> Optional[str]:
+        """The fault kind to inject for this (job, attempt), or None.
+
+        Kinds are drawn independently in :data:`FAULT_KINDS` order; the
+        first hit wins, so rates compose like independent hazards.
+        """
+        for kind, rate in self.rates.items():
+            if rate <= 0.0:
+                continue
+            draw = stable_unit(f"{self.seed}|{kind}|{key}|{attempt}")
+            if draw < rate:
+                return kind
+        return None
+
+    def __repr__(self) -> str:
+        return (f"FaultPlan({self.describe()!r}, seed={self.seed}, "
+                f"hang_seconds={self.hang_seconds})")
+
+
+class ScriptedFaultPlan(FaultPlan):
+    """A plan whose decisions are an explicit ``(key, attempt) -> kind``
+    table — the deterministic building block the fault-path tests use to
+    stage exact failure sequences."""
+
+    def __init__(self, script: Mapping[Tuple[str, int], str],
+                 hang_seconds: float = 30.0):
+        super().__init__({}, seed=0, hang_seconds=hang_seconds)
+        for kind in script.values():
+            if kind not in FAULT_KINDS:
+                raise ValueError(f"unknown fault kind {kind!r}")
+        self.script = dict(script)
+
+    def decide(self, key: str, attempt: int) -> Optional[str]:
+        return self.script.get((key, attempt))
+
+    def __repr__(self) -> str:
+        return f"ScriptedFaultPlan({len(self.script)} entries)"
+
+
+class FaultyCall:
+    """Picklable wrapper applying one attempt's fault decision around
+    ``fn(item)`` *in the process that executes it* — injected crashes
+    must kill the worker, not the scheduler."""
+
+    def __init__(self, fn: Callable[[Any], Any], plan: Optional[FaultPlan],
+                 key: str, attempt: int, parent_pid: int):
+        self.fn = fn
+        self.plan = plan
+        self.key = key
+        self.attempt = attempt
+        self.parent_pid = parent_pid
+
+    def __call__(self, item: Any) -> Any:
+        kind = (self.plan.decide(self.key, self.attempt)
+                if self.plan is not None else None)
+        if kind == "crash":
+            if os.getpid() != self.parent_pid:
+                os._exit(CRASH_EXIT_CODE)
+            # In-process execution (serial scheduler or degraded
+            # fallback): killing the parent would defeat the harness.
+            raise InjectedFaultError(
+                f"injected crash for {self.key} "
+                f"(attempt {self.attempt}, converted in-process)"
+            )
+        if kind == "raise":
+            raise InjectedFaultError(
+                f"injected failure for {self.key} (attempt {self.attempt})"
+            )
+        if kind == "hang":
+            time.sleep(self.plan.hang_seconds)
+        result = self.fn(item)
+        if kind == "corrupt":
+            return CorruptedResult(self.key, self.attempt)
+        return result

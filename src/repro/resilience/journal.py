@@ -1,0 +1,164 @@
+"""Checkpoint journal for suite runs: crash-durable, resumable.
+
+A :class:`RunJournal` is an append-only JSON-Lines file recording every
+(benchmark, mode) cell a suite run settles — successful cells with their
+full metrics, failed cells with their error.  Each record is flushed and
+fsynced as it is written, so a run killed at any instant (worker crash,
+OOM, Ctrl-C, SIGKILL) leaves a journal describing exactly the work that
+finished.  ``repro figure/report --resume`` replays those records
+instead of recomputing them; JSON floats round-trip exactly in Python,
+so a resumed run's final metrics are bit-identical to an uninterrupted
+one's.
+
+The first line is a header carrying a *suite key* — a digest of the
+configuration, frame count and simulator code version.  A journal whose
+header does not match the current suite key is ignored on load and
+overwritten on open: stale checkpoints can never leak stale numbers,
+the same contract the disk cache makes.  Records that fail to parse
+(e.g. a torn final line from a crash mid-write) are skipped, not fatal.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, IO, Optional, Tuple
+
+from ..obs.log import get_logger
+
+logger = get_logger("resilience.journal")
+
+JOURNAL_VERSION = 1
+
+
+class RunJournal:
+    """Append-only (benchmark, mode) checkpoint file for one suite key."""
+
+    def __init__(self, path: str, suite_key: str):
+        self.path = path
+        self.suite_key = suite_key
+        self._handle: Optional[IO[str]] = None
+
+    # -- reading -------------------------------------------------------------
+
+    def _header_matches(self) -> bool:
+        try:
+            with open(self.path, "r") as handle:
+                first = handle.readline()
+        except OSError:
+            return False
+        try:
+            header = json.loads(first)
+        except ValueError:
+            return False
+        return (
+            isinstance(header, dict)
+            and header.get("record") == "journal-header"
+            and header.get("suite") == self.suite_key
+            and header.get("version") == JOURNAL_VERSION
+        )
+
+    def load(self) -> Dict[Tuple[str, str], Dict[str, Any]]:
+        """Completed cells keyed by ``(benchmark, mode-value)``.
+
+        Returns ``{}`` when the journal is absent or belongs to a
+        different suite key.  Later records win, so a cell that failed
+        on one pass and succeeded on a resume reads as succeeded.
+        """
+        if not self._header_matches():
+            return {}
+        entries: Dict[Tuple[str, str], Dict[str, Any]] = {}
+        skipped = 0
+        with open(self.path, "r") as handle:
+            for line in handle:
+                try:
+                    record = json.loads(line)
+                except ValueError:
+                    skipped += 1
+                    continue
+                if not isinstance(record, dict):
+                    skipped += 1
+                    continue
+                if record.get("record") != "result":
+                    continue
+                benchmark = record.get("benchmark")
+                mode = record.get("mode")
+                if not isinstance(benchmark, str) or not isinstance(mode, str):
+                    skipped += 1
+                    continue
+                entries[(benchmark, mode)] = record
+        if skipped:
+            logger.warning("journal %s: skipped %d unreadable record(s)",
+                           self.path, skipped)
+        return entries
+
+    # -- writing -------------------------------------------------------------
+
+    def open(self, fresh: bool = False) -> None:
+        """Open for appending; (re)writes the header when ``fresh``,
+        when no journal exists, or when the existing one belongs to a
+        different suite key."""
+        if self._handle is not None:
+            return
+        if fresh or not self._header_matches():
+            directory = os.path.dirname(self.path)
+            if directory:
+                os.makedirs(directory, exist_ok=True)
+            self._handle = open(self.path, "w")
+            self._write({
+                "record": "journal-header",
+                "suite": self.suite_key,
+                "version": JOURNAL_VERSION,
+            })
+        else:
+            self._handle = open(self.path, "a")
+
+    def record_ok(self, benchmark: str, mode: str,
+                  metrics: Dict[str, Any]) -> None:
+        """Checkpoint one successfully completed cell."""
+        self._record(benchmark, mode, status="ok", metrics=metrics)
+
+    def record_failed(self, benchmark: str, mode: str, error: str) -> None:
+        """Checkpoint one permanently failed cell (retried on resume)."""
+        self._record(benchmark, mode, status="failed", error=error)
+
+    def _record(self, benchmark: str, mode: str, status: str,
+                metrics: Optional[Dict[str, Any]] = None,
+                error: str = "") -> None:
+        if self._handle is None:
+            self.open()
+        record: Dict[str, Any] = {
+            "record": "result",
+            "benchmark": benchmark,
+            "mode": mode,
+            "status": status,
+        }
+        if metrics is not None:
+            record["metrics"] = metrics
+        if error:
+            record["error"] = error
+        self._write(record)
+
+    def _write(self, record: Dict[str, Any]) -> None:
+        assert self._handle is not None
+        self._handle.write(json.dumps(record, sort_keys=True))
+        self._handle.write("\n")
+        # Durability is the whole point: a SIGKILL the instant after a
+        # cell completes must not lose that cell.
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "RunJournal":
+        self.open()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"RunJournal({self.path!r}, suite={self.suite_key[:12]})"

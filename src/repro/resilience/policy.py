@@ -1,0 +1,72 @@
+"""Retry, timeout and backoff policy for the resilient scheduler.
+
+The policy is a plain value object; the arithmetic lives in free
+functions so the unit tests can pin it exactly.  Backoff jitter is
+*deterministic* — a stable hash of (key, attempt) — because the whole
+resilience layer promises that re-running the same command reproduces
+the same schedule, faults included.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .faults import stable_unit
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How hard the resilient scheduler tries before giving up on a job.
+
+    Attributes:
+        max_attempts: total executions allowed per job (1 = no retry).
+        timeout_seconds: per-job wall-clock timeout, enforced only under
+            a process pool (an in-process job cannot be preempted);
+            ``None`` disables timeouts.
+        backoff_base: delay before the first retry, in seconds.
+        backoff_factor: multiplier applied per further retry.
+        backoff_max: ceiling on any single delay.
+        jitter: fraction of the delay shaved off deterministically
+            (0 = none, 0.25 = delays land in [0.75d, d]).
+        max_pool_rebuilds: broken-pool/timeout rebuilds tolerated per
+            ``map`` call before degrading to serial in-process execution.
+    """
+
+    max_attempts: int = 4
+    timeout_seconds: Optional[float] = None
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max: float = 2.0
+    jitter: float = 0.25
+    max_pool_rebuilds: int = 2
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.timeout_seconds is not None and self.timeout_seconds <= 0:
+            raise ValueError("timeout_seconds must be positive or None")
+        if self.backoff_base < 0 or self.backoff_max < 0:
+            raise ValueError("backoff delays must be non-negative")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+        if self.max_pool_rebuilds < 0:
+            raise ValueError("max_pool_rebuilds must be >= 0")
+
+
+def backoff_delay(policy: RetryPolicy, attempt: int, key: str) -> float:
+    """Seconds to wait after failed attempt number ``attempt`` (1-based).
+
+    Exponential in the attempt number, capped at ``backoff_max``, with a
+    deterministic jitter drawn from ``(key, attempt)`` so concurrent
+    retries de-synchronize without sacrificing reproducibility.
+    """
+    if attempt < 1:
+        raise ValueError("attempt is 1-based")
+    raw = policy.backoff_base * policy.backoff_factor ** (attempt - 1)
+    raw = min(policy.backoff_max, raw)
+    if policy.jitter:
+        raw *= 1.0 - policy.jitter * stable_unit(f"backoff|{key}|{attempt}")
+    return raw

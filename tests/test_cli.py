@@ -186,3 +186,86 @@ class TestObservabilityFlags:
             main(["run", "hop"] + self.SMALL)
         assert closes  # the with-block released the scheduler anyway
         assert get_tracer() is NULL_TRACER
+
+
+class TestResilienceFlags:
+    SMALL = ["--frames", "2", "--width", "64", "--height", "48"]
+
+    def test_parser_accepts_resilience_flags(self):
+        args = build_parser().parse_args(
+            ["figure", "fig9", "--inject-faults", "crash:0.2,hang:0.1",
+             "--fault-seed", "7", "--retries", "5", "--job-timeout", "30",
+             "--resume", "--strict"]
+        )
+        assert args.inject_faults == "crash:0.2,hang:0.1"
+        assert args.fault_seed == 7
+        assert args.retries == 5
+        assert args.job_timeout == 30.0
+        assert args.resume and args.strict
+
+    def test_run_has_no_suite_flags(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "cde", "--resume"])
+
+    def test_resilience_defaults_disarmed(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FAULTS", raising=False)
+        args = build_parser().parse_args(["run", "cde"])
+        assert repro.cli._resilience_from_args(args) == (None, None)
+
+    def test_env_spec_arms_the_plan(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "raise:0.5")
+        args = build_parser().parse_args(["run", "cde"])
+        policy, plan = repro.cli._resilience_from_args(args)
+        assert policy is not None and policy.max_attempts == 4
+        assert plan.rates == {"raise": 0.5}
+
+    def test_retries_alone_arm_policy_without_plan(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FAULTS", raising=False)
+        args = build_parser().parse_args(["run", "cde", "--retries", "2"])
+        policy, plan = repro.cli._resilience_from_args(args)
+        assert policy.max_attempts == 2 and plan is None
+
+    def test_run_with_retries_armed_matches_plain_run(self, monkeypatch,
+                                                      capsys):
+        monkeypatch.delenv("REPRO_FAULTS", raising=False)
+        argv = ["run", "hop", "--modes", "baseline", "evr"] + self.SMALL
+        assert main(argv) == 0
+        plain = capsys.readouterr().out
+        assert main(argv + ["--retries", "3"]) == 0
+        armed = capsys.readouterr().out
+        assert armed == plain  # resilience wrapper is bit-transparent
+
+    def test_figure_with_faults_injected_completes(self, monkeypatch,
+                                                   tmp_path, capsys):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert main(["figure", "fig9", "--benchmarks", "hop",
+                     "--inject-faults", "raise:0.4", "--retries", "6"]
+                    + self.SMALL) == 0
+        assert "hop" in capsys.readouterr().out
+
+    def test_strict_fails_on_permanent_failures(self, monkeypatch,
+                                                tmp_path, capsys):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        argv = ["figure", "fig9", "--benchmarks", "hop",
+                "--inject-faults", "raise:1.0", "--retries", "1"] + self.SMALL
+        assert main(argv) == 0  # graceful degradation by default
+        out = capsys.readouterr().out
+        assert "FAILED" in out and "nan" in out
+        assert main(argv + ["--strict"]) == 1
+
+    def test_resume_roundtrip_through_cli(self, monkeypatch, tmp_path,
+                                          capsys):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        argv = ["figure", "fig9", "--benchmarks", "hop", "--retries", "2",
+                "--resume"] + self.SMALL
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        # Strip the *.pkl run cache so only the journal can satisfy the
+        # resumed invocation.
+        for name in os.listdir(tmp_path):
+            if name.endswith(".pkl"):
+                os.remove(os.path.join(tmp_path, name))
+        assert main(argv + ["-v"]) == 0
+        resumed = capsys.readouterr().out
+        assert "cells resumed" in resumed
+        assert first.splitlines()[:6] == resumed.splitlines()[:6]

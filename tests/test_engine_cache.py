@@ -11,6 +11,7 @@ from repro.config import GPUConfig
 from repro.engine import DiskCache, default_cache_dir
 from repro.engine.diskcache import code_version
 from repro.harness.runner import RunMetrics, SuiteRunner
+from repro.obs.metrics import global_registry
 from repro.pipeline import PipelineMode
 
 CONFIG = GPUConfig.tiny(frames=2)
@@ -107,3 +108,100 @@ class TestCacheCLI:
     def test_clear_empty_directory(self, tmp_path, capsys):
         assert main(["cache", "clear", "--dir", str(tmp_path)]) == 0
         assert "removed 0 cached runs" in capsys.readouterr().out
+
+
+class TestCacheIntegrityAndQuarantine:
+    """Satellite hardening: entries carry a checksum trailer and bad
+    ones are quarantined for post-mortem, never silently unlinked."""
+
+    def _corrupt(self, cache, mutate):
+        key = cache.make_key("victim")
+        cache.put(key, {"value": 1})
+        path = cache.path_for(key)
+        with open(path, "rb") as handle:
+            blob = handle.read()
+        with open(path, "wb") as handle:
+            handle.write(mutate(blob))
+        return key, path
+
+    def test_truncated_entry_quarantined(self, tmp_path):
+        import io
+        from repro.obs.log import setup_logging
+        global_registry().reset()
+        cache = DiskCache(str(tmp_path))
+        key, path = self._corrupt(cache, lambda blob: blob[:len(blob) // 2])
+        stream = io.StringIO()
+        setup_logging(stream=stream)  # route repro.* warnings to us
+        try:
+            assert cache.get(key) is None
+        finally:
+            setup_logging()
+        assert not os.path.exists(path)
+        assert cache.quarantined() == 1
+        assert os.path.exists(
+            os.path.join(cache.quarantine_dir(), os.path.basename(path))
+        )
+        assert global_registry().counter("cache.quarantined").value == 1
+        # The warning names the (truncated) key and the quarantine move.
+        logged = stream.getvalue()
+        assert key[:12] in logged and "quarantined" in logged
+
+    def test_bitflip_fails_checksum_and_quarantines(self, tmp_path):
+        cache = DiskCache(str(tmp_path))
+
+        def flip(blob):
+            middle = len(blob) // 3
+            return blob[:middle] + bytes([blob[middle] ^ 0xFF]) \
+                + blob[middle + 1:]
+
+        key, path = self._corrupt(cache, flip)
+        assert cache.get(key) is None
+        assert cache.quarantined() == 1
+
+    def test_foreign_file_without_trailer_quarantined(self, tmp_path):
+        import pickle
+        cache = DiskCache(str(tmp_path))
+        key = cache.make_key("legacy")
+        os.makedirs(cache.directory, exist_ok=True)
+        with open(cache.path_for(key), "wb") as handle:
+            handle.write(pickle.dumps({"pre-trailer": True}))
+        assert cache.get(key) is None  # never misread as healthy
+        assert cache.quarantined() == 1
+
+    def test_unpicklable_payload_with_valid_trailer(self, tmp_path):
+        from repro.engine.diskcache import _encode_entry
+        cache = DiskCache(str(tmp_path))
+        key = cache.make_key("garbage")
+        os.makedirs(cache.directory, exist_ok=True)
+        with open(cache.path_for(key), "wb") as handle:
+            handle.write(_encode_entry(b"not a pickle"))
+        assert cache.get(key) is None
+        assert cache.quarantined() == 1
+
+    def test_recompute_after_quarantine(self, tmp_path):
+        cache = DiskCache(str(tmp_path))
+        key, _ = self._corrupt(cache, lambda blob: blob[:10])
+        assert cache.get(key) is None
+        cache.put(key, {"value": 2})  # the key's path stays usable
+        assert cache.get(key) == {"value": 2}
+        assert cache.quarantined() == 1
+
+    def test_clear_keeps_quarantine(self, tmp_path):
+        cache = DiskCache(str(tmp_path))
+        key, _ = self._corrupt(cache, lambda blob: blob[:10])
+        cache.put(cache.make_key("healthy"), 3)
+        assert cache.get(key) is None
+        assert cache.clear() == 1  # only the healthy entry
+        assert cache.quarantined() == 1
+
+    def test_decode_entry_error_messages(self):
+        from repro.engine.diskcache import _decode_entry, _encode_entry
+        from repro.errors import CacheCorruptionError
+        good = _encode_entry(b"payload")
+        assert _decode_entry(good) == b"payload"
+        with pytest.raises(CacheCorruptionError, match="trailer"):
+            _decode_entry(b"too short")
+        with pytest.raises(CacheCorruptionError, match="truncated"):
+            _decode_entry(good[:1] + good[8:])  # drop payload bytes
+        with pytest.raises(CacheCorruptionError, match="checksum"):
+            _decode_entry(b"Xayload" + good[7:])

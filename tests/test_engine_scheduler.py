@@ -155,5 +155,55 @@ class TestSchedulerLifecycle:
         assert pool._executor is None
 
 
+
+class TestSchedulerShutdownSafety:
+    """Satellite hardening: close()/terminate() must be safe in every
+    lifecycle state, including an executor that never started."""
+
+    def test_close_before_any_map(self):
+        pool = ProcessPoolScheduler(2)
+        pool.close()  # executor never created; must not raise
+        pool.close()
+        assert pool._executor is None
+
+    def test_terminate_before_any_map(self):
+        pool = ProcessPoolScheduler(2)
+        pool.terminate()
+        pool.terminate()
+        assert pool._executor is None
+
+    def test_terminate_kills_live_pool(self):
+        pool = ProcessPoolScheduler(2)
+        assert pool.map(_square, [1, 2, 3]) == [1, 4, 9]
+        processes = list(pool._executor._processes.values())
+        pool.terminate()
+        assert pool._executor is None
+        for process in processes:
+            process.join(timeout=5.0)
+            assert not process.is_alive()
+        # The scheduler stays usable: a new executor is built on demand.
+        assert pool.map(_square, [4, 5]) == [16, 25]
+        pool.close()
+
+    def test_close_survives_shutdown_failure(self):
+        pool = ProcessPoolScheduler(2)
+
+        class _ExplodingExecutor:
+            def shutdown(self, *args, **kwargs):
+                raise RuntimeError("shutdown failed")
+
+        pool._executor = _ExplodingExecutor()
+        with pytest.raises(RuntimeError):
+            pool.close()
+        # The reference was dropped first: no half-closed executor.
+        assert pool._executor is None
+        pool.close()  # and close stays idempotent afterwards
+
+    def test_del_tolerates_unconstructed_instance(self):
+        # __del__ on an instance whose __init__ raised must not error.
+        pool = ProcessPoolScheduler.__new__(ProcessPoolScheduler)
+        pool.__del__()
+
+
 def _square(n: int) -> int:
     return n * n
