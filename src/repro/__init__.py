@@ -26,6 +26,7 @@ from .errors import (
     PipelineError,
     ReproError,
     SceneError,
+    SpecError,
 )
 from .commands import (
     BlendMode,
@@ -41,6 +42,16 @@ from .pipeline import (
     PipelineFeatures,
     PipelineMode,
     RunResult,
+)
+from .spec import (
+    FeatureOverrides,
+    ObsSpec,
+    ResilienceSpec,
+    ResolvedSpec,
+    RunSpec,
+    SchedulerSpec,
+    WorkloadSpec,
+    resolve_spec,
 )
 from .validate import ValidationReport, validate_stream
 
@@ -68,6 +79,15 @@ __all__ = [
     "PipelineMode",
     "FrameResult",
     "RunResult",
+    "SpecError",
+    "RunSpec",
+    "ResolvedSpec",
+    "WorkloadSpec",
+    "FeatureOverrides",
+    "SchedulerSpec",
+    "ResilienceSpec",
+    "ObsSpec",
+    "resolve_spec",
     "validate_stream",
     "ValidationReport",
 ]

@@ -12,29 +12,37 @@ Subcommands:
   wall-clock time went (phases, jobs, worker occupancy).
 * ``validate`` — cross-mode pixel-equality and invariant checks.
 * ``cache`` — inspect or clear the persistent run cache.
+* ``spec`` — show, diff or dump the resolved experiment spec.
 
-``run``, ``figure`` and ``report`` accept ``--jobs N`` (or the
-``REPRO_JOBS`` environment variable) to fan independent simulations out
-over worker processes; results are bit-identical to serial runs.
+Every experiment-running command resolves its parameters through one
+declarative :class:`repro.spec.RunSpec`, layered from (later wins):
+built-in defaults → ``--preset NAME`` → ``--spec FILE`` (TOML/JSON) →
+environment (``REPRO_JOBS``, ``REPRO_FAULTS``) → explicit CLI flags →
+dotted-path ``--set key=value`` overrides.  ``repro spec show`` prints
+the fully resolved spec with the layer that supplied every field; a run
+driven by a spec file is bit-identical to the same run driven by the
+equivalent flags, and shares its disk-cache entries (keys derive from
+the spec's canonical content hash).
 
-Resilience (see :mod:`repro.resilience`): the same three subcommands
-accept ``--retries N`` / ``--job-timeout S`` to arm the resilient
-scheduler (bounded retries with deterministic backoff, per-job timeouts
-and broken-pool recovery under ``--jobs``), and ``--inject-faults SPEC``
-(or ``$REPRO_FAULTS``) with ``--fault-seed`` to exercise those paths
-deterministically.  ``figure`` and ``report`` additionally checkpoint
-every finished (benchmark, mode) cell to a journal in the cache
-directory; ``--resume`` replays it so an interrupted sweep recomputes
-only unfinished cells, and ``--strict`` turns permanently failed cells
-into a non-zero exit (the default is graceful degradation: the sweep
-completes with failed cells rendered as ``nan``).
+Resilience (see :mod:`repro.resilience`): ``--retries N`` /
+``--job-timeout S`` arm the resilient scheduler (bounded retries with
+deterministic backoff, per-job timeouts and broken-pool recovery under
+``--jobs``), and ``--inject-faults SPEC`` (or ``$REPRO_FAULTS``) with
+``--fault-seed`` exercises those paths deterministically.  ``figure``
+and ``report`` additionally checkpoint every finished (benchmark, mode)
+cell to a journal in the cache directory; ``--resume`` replays it so an
+interrupted sweep recomputes only unfinished cells, and ``--strict``
+turns permanently failed cells into a non-zero exit (the default is
+graceful degradation: the sweep completes with failed cells rendered as
+``nan``).
 
 Observability (see :mod:`repro.obs`): every subcommand takes ``-v`` /
 ``--verbose`` and ``-q`` / ``--quiet`` *after* the subcommand name;
 ``run``, ``figure``, ``report`` and ``profile`` additionally take
 ``--trace out.json`` (Chrome/Perfetto trace-event JSON) and ``--metrics
 out.jsonl`` (or ``.csv``) to export what was measured.  Neither flag
-changes any simulated result.
+changes any simulated result; metrics exports lead with a ``spec``
+record carrying the resolved spec and its hash for provenance.
 """
 
 from __future__ import annotations
@@ -43,10 +51,11 @@ import argparse
 import os
 import sys
 from contextlib import contextmanager
-from typing import Any, Dict, Iterator, List, Optional
+from typing import Any, Dict, Iterator, List, Optional, Tuple
 
-from .config import GPUConfig, default_jobs
 from .engine import DiskCache, default_cache_dir, make_scheduler
+from .engine.diskcache import run_cache_key
+from .errors import ConfigError, SpecError
 from .harness import (
     ablation_draw_order,
     ablation_history,
@@ -66,7 +75,7 @@ from .harness.alternatives import culling_alternatives
 from .harness.balance import pipeline_balance_report
 from .harness.timeseries import frame_series, write_csv
 from .harness.report import render_report
-from .harness.runner import SuiteRunner
+from .harness.runner import RunMetrics, SuiteRunner, metrics_from_result
 from .imageio import write_ppm
 from .obs import (
     ChromeTracer,
@@ -79,11 +88,19 @@ from .obs import (
     write_jsonl,
 )
 from .obs.log import verbosity_from_flags
-from .obs.metrics import frame_record, run_record
+from .obs.metrics import frame_record, run_record, spec_record
 from .obs.profile import phase_breakdown
 from .pipeline import GPU, PipelineMode
-from .resilience import FaultPlan, ResilientScheduler, RetryPolicy
+from .resilience import ResilientScheduler
 from .scenes import BENCHMARKS, benchmark_stream
+from .spec import (
+    PRESETS,
+    ResolvedSpec,
+    RunSpec,
+    flatten_spec,
+    preset_names,
+    spec_from_args,
+)
 from .validate import validate_stream
 
 _FIGURES = {
@@ -116,20 +133,39 @@ _FIGURES = {
 }
 
 
-def _config_from_args(args: argparse.Namespace) -> GPUConfig:
-    return GPUConfig(
-        screen_width=args.width,
-        screen_height=args.height,
-        frames=args.frames,
+# ---------------------------------------------------------------------------
+# Argument groups
+#
+# Every default is ``None`` (or False for store_true flags): the parser
+# records only what the user actually typed, so spec-file and preset
+# values are never masked by untouched flags — `spec_from_args` layers
+# the explicit values on top.
+# ---------------------------------------------------------------------------
+
+def _add_spec_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--spec", default=None, metavar="FILE",
+        help="experiment spec file (TOML, or JSON with .json)",
+    )
+    parser.add_argument(
+        "--preset", default=None, choices=preset_names(),
+        help="built-in base configuration the spec/flags layer onto",
+    )
+    parser.add_argument(
+        "--set", dest="set_overrides", action="append", default=[],
+        metavar="KEY=VALUE",
+        help="dotted-path spec override, e.g. "
+             "--set features.evr_reorder=false (repeatable; highest "
+             "precedence)",
     )
 
 
 def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--frames", type=int, default=10,
+    parser.add_argument("--frames", type=int, default=None,
                         help="frames to simulate (default 10; paper: 60)")
-    parser.add_argument("--width", type=int, default=192,
+    parser.add_argument("--width", type=int, default=None,
                         help="screen width in pixels (paper: 1196)")
-    parser.add_argument("--height", type=int, default=160,
+    parser.add_argument("--height", type=int, default=None,
                         help="screen height in pixels (paper: 768)")
 
 
@@ -150,12 +186,12 @@ def _add_resilience_arguments(parser: argparse.ArgumentParser,
     for suite sweeps (``figure``, ``report``).
     """
     parser.add_argument(
-        "--inject-faults", default="", metavar="SPEC",
+        "--inject-faults", default=None, metavar="SPEC",
         help="deterministic fault injection, e.g. 'crash:0.2,hang:0.1' "
              "(kinds: raise, corrupt, hang, crash; default: $REPRO_FAULTS)",
     )
     parser.add_argument(
-        "--fault-seed", type=int, default=0, metavar="N",
+        "--fault-seed", type=int, default=None, metavar="N",
         help="seed decorrelating otherwise-identical fault plans",
     )
     parser.add_argument(
@@ -181,28 +217,48 @@ def _add_resilience_arguments(parser: argparse.ArgumentParser,
         )
 
 
-def _resilience_from_args(
-    args: argparse.Namespace,
-) -> tuple:
-    """(RetryPolicy, FaultPlan) from the parsed flags, or (None, None)
-    when no resilience flag was given (the historical fail-fast path)."""
-    spec = getattr(args, "inject_faults", "") or os.environ.get(
-        "REPRO_FAULTS", ""
+def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="write a Chrome/Perfetto trace-event JSON file "
+             "(open in chrome://tracing or ui.perfetto.dev)",
     )
-    retries = getattr(args, "retries", None)
-    timeout = getattr(args, "job_timeout", None)
-    if not spec and retries is None and timeout is None:
-        return None, None
-    policy = RetryPolicy(
-        max_attempts=retries if retries is not None else 4,
-        timeout_seconds=timeout,
+    parser.add_argument(
+        "--metrics", default=None, metavar="FILE",
+        help="export metrics records; .csv writes flattened CSV, "
+             "anything else JSON Lines",
     )
-    # An injected hang must outlast the timeout (so the timeout path
-    # actually fires) but must never wedge an untimed run for long.
-    hang_seconds = 2.0 * timeout if timeout else 30.0
-    plan = FaultPlan.parse(spec, seed=getattr(args, "fault_seed", 0),
-                           hang_seconds=hang_seconds)
-    return policy, plan
+
+
+def _output_flags_parent() -> argparse.ArgumentParser:
+    """Shared ``-v``/``-q`` flags, attached to every subcommand."""
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_mutually_exclusive_group()
+    group.add_argument("-v", "--verbose", action="store_true",
+                       help="extra diagnostics; repro logger at DEBUG")
+    group.add_argument("-q", "--quiet", action="store_true",
+                       help="primary output only (tables, reports)")
+    return parent
+
+
+def _make_output(args: argparse.Namespace) -> Output:
+    """Configure logging from the parsed flags and return the writer
+    (commands that don't resolve a spec: ``list``, ``cache``)."""
+    verbosity = verbosity_from_flags(
+        getattr(args, "verbose", False), getattr(args, "quiet", False)
+    )
+    setup_logging(verbosity)
+    return Output(verbosity)
+
+
+def _resolve(args: argparse.Namespace
+             ) -> Tuple[ResolvedSpec, RunSpec, Output]:
+    """Resolve the command's spec layers and configure output from it."""
+    resolved = spec_from_args(args)
+    spec = resolved.spec
+    verbosity = spec.obs.verbosity()
+    setup_logging(verbosity)
+    return resolved, spec, Output(verbosity)
 
 
 def _report_failures(runner: SuiteRunner, out: Output) -> int:
@@ -221,53 +277,20 @@ def _report_failures(runner: SuiteRunner, out: Output) -> int:
     return 1 if strict else 0
 
 
-def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument(
-        "--trace", default="", metavar="FILE",
-        help="write a Chrome/Perfetto trace-event JSON file "
-             "(open in chrome://tracing or ui.perfetto.dev)",
-    )
-    parser.add_argument(
-        "--metrics", default="", metavar="FILE",
-        help="export metrics records; .csv writes flattened CSV, "
-             "anything else JSON Lines",
-    )
-
-
-def _output_flags_parent() -> argparse.ArgumentParser:
-    """Shared ``-v``/``-q`` flags, attached to every subcommand."""
-    parent = argparse.ArgumentParser(add_help=False)
-    group = parent.add_mutually_exclusive_group()
-    group.add_argument("-v", "--verbose", action="store_true",
-                       help="extra diagnostics; repro logger at DEBUG")
-    group.add_argument("-q", "--quiet", action="store_true",
-                       help="primary output only (tables, reports)")
-    return parent
-
-
-def _make_output(args: argparse.Namespace) -> Output:
-    """Configure logging from the parsed flags and return the writer."""
-    verbosity = verbosity_from_flags(
-        getattr(args, "verbose", False), getattr(args, "quiet", False)
-    )
-    setup_logging(verbosity)
-    return Output(verbosity)
-
-
 @contextmanager
-def _command_tracer(args: argparse.Namespace,
+def _command_tracer(trace_path: str,
                     out: Output) -> Iterator[Optional[ChromeTracer]]:
     """Install a :class:`ChromeTracer` for the command when ``--trace``
-    was given (yields None otherwise); writes the file on clean exit."""
-    path = getattr(args, "trace", "")
-    if not path:
+    (or ``obs.trace``) was given (yields None otherwise); writes the
+    file on clean exit."""
+    if not trace_path:
         yield None
         return
     tracer = ChromeTracer()
     with tracing(tracer):
         yield tracer
-    tracer.write(path)
-    out.info(f"trace ({len(tracer.events)} events) -> {path}")
+    tracer.write(trace_path)
+    out.info(f"trace ({len(tracer.events)} events) -> {trace_path}")
 
 
 def _write_metrics(records: List[Dict[str, Any]], path: str,
@@ -279,6 +302,10 @@ def _write_metrics(records: List[Dict[str, Any]], path: str,
     out.info(f"metrics ({len(records)} records) -> {path}")
 
 
+# ---------------------------------------------------------------------------
+# Commands
+# ---------------------------------------------------------------------------
+
 def _command_list(args: argparse.Namespace) -> int:
     out = _make_output(args)
     out.result(table3_suite().render())
@@ -286,104 +313,145 @@ def _command_list(args: argparse.Namespace) -> int:
 
 
 def _command_run(args: argparse.Namespace) -> int:
-    out = _make_output(args)
-    config = _config_from_args(args)
-    stream = benchmark_stream(args.benchmark, config)
-    modes = [PipelineMode(mode) for mode in args.modes]
-    rows = []
+    resolved, spec, out = _resolve(args)
+    benchmarks = ([args.benchmark] if args.benchmark
+                  else list(spec.workload.benchmarks))
+    if not benchmarks:
+        raise SpecError(
+            "repro run needs a benchmark: pass one on the command line "
+            "or set workload.benchmarks in the spec"
+        )
+    modes = spec.workload.pipeline_modes()
+    config = spec.gpu
     records: List[Dict[str, Any]] = []
-    baseline_cycles: Optional[float] = None
     global_registry().reset()
-    policy, plan = _resilience_from_args(args)
-    with _command_tracer(args, out) as tracer:
+    policy = spec.resilience.retry_policy()
+    plan = spec.resilience.fault_plan()
+    # Spec-file-driven runs are declarative and therefore cacheable:
+    # distilled metrics are keyed by the spec's content hash, so a second
+    # identical invocation skips simulation entirely.  Exports need the
+    # full per-frame results, so they always simulate.
+    exporting = bool(args.csv or spec.obs.trace or spec.obs.metrics)
+    disk = (DiskCache(default_cache_dir())
+            if args.spec and not exporting else None)
+    cache_hits = 0
+    cache_misses = 0
+    tables: List[str] = []
+    with _command_tracer(spec.obs.trace, out) as tracer:
         profiler = SchedulerProfiler(tracer) if tracer is not None else None
-        scheduler = make_scheduler(default_jobs(args.jobs),
-                                   profiler=profiler)
+        scheduler = make_scheduler(spec.scheduler.jobs, profiler=profiler)
         if policy is not None:
             # Tile-level resilience: per-frame tile jobs are retried
             # (and, under a pool, timed out) individually.
             scheduler = ResilientScheduler(scheduler, policy=policy,
                                            fault_plan=plan)
         with scheduler:
-            for mode in modes:
-                out.detail(f"simulating {args.benchmark}:{mode.value} "
-                           f"({config.frames} frames, {scheduler!r})")
-                result = GPU(config, mode,
-                             scheduler=scheduler).render_stream(stream)
-                if args.csv:
-                    path = f"{args.csv.rstrip('.csv')}_{mode.value}.csv"
-                    write_csv(frame_series(result), path)
-                    out.info(f"per-frame series -> {path}")
-                if args.metrics:
-                    records.extend(
-                        frame_record(args.benchmark, mode.value, frame,
-                                     result.cost_model, result.energy_model,
-                                     result.features)
-                        for frame in result.frames
-                    )
-                    records.append(
-                        run_record(args.benchmark, mode.value, result)
-                    )
-                cycles = result.total_cycles()
-                if baseline_cycles is None:
-                    baseline_cycles = cycles.total
-                rows.append([
-                    mode.value,
-                    round(cycles.geometry),
-                    round(cycles.raster),
-                    cycles.total / baseline_cycles,
-                    result.total_energy().total * 1e3,
-                    result.redundant_tile_rate(),
-                    result.shaded_fragments_per_pixel(),
-                ])
-    if args.metrics:
+            for benchmark in benchmarks:
+                rows = []
+                baseline_cycles: Optional[float] = None
+                stream = None
+                for mode in modes:
+                    metrics: Optional[RunMetrics] = None
+                    key = ""
+                    if disk is not None:
+                        key = run_cache_key(spec, benchmark, mode.value)
+                        value = disk.get(key)
+                        if isinstance(value, RunMetrics):
+                            metrics = value
+                            cache_hits += 1
+                    if metrics is None:
+                        if disk is not None:
+                            cache_misses += 1
+                        if stream is None:
+                            stream = benchmark_stream(benchmark, config)
+                        out.detail(f"simulating {benchmark}:{mode.value} "
+                                   f"({config.frames} frames, {scheduler!r})")
+                        result = GPU.from_spec(
+                            spec, mode, scheduler=scheduler
+                        ).render_stream(stream)
+                        if args.csv:
+                            path = (f"{args.csv.rstrip('.csv')}"
+                                    f"_{mode.value}.csv")
+                            write_csv(frame_series(result), path)
+                            out.info(f"per-frame series -> {path}")
+                        if spec.obs.metrics:
+                            records.extend(
+                                frame_record(benchmark, mode.value, frame,
+                                             result.cost_model,
+                                             result.energy_model,
+                                             result.features)
+                                for frame in result.frames
+                            )
+                            records.append(
+                                run_record(benchmark, mode.value, result)
+                            )
+                        metrics = metrics_from_result(benchmark, mode,
+                                                      result)
+                        if disk is not None:
+                            disk.put(key, metrics)
+                    if baseline_cycles is None:
+                        baseline_cycles = metrics.total_cycles
+                    rows.append([
+                        mode.value,
+                        round(metrics.geometry_cycles),
+                        round(metrics.raster_cycles),
+                        metrics.total_cycles / baseline_cycles,
+                        metrics.energy_joules * 1e3,
+                        metrics.redundant_tile_rate,
+                        metrics.shaded_fragments_per_pixel,
+                    ])
+                tables.append(format_table(
+                    ["mode", "geom cyc", "raster cyc", "time vs first",
+                     "energy (mJ)", "tiles skipped", "frags/px"],
+                    rows,
+                    title=f"{benchmark} @ {config.screen_width}x"
+                          f"{config.screen_height}, {config.frames} frames",
+                ))
+    if spec.obs.metrics:
+        records.insert(0, spec_record(spec))
         records.append({"record": "registry",
                         **global_registry().as_dict()})
-        _write_metrics(records, args.metrics, out)
-    out.result(format_table(
-        ["mode", "geom cyc", "raster cyc", "time vs first",
-         "energy (mJ)", "tiles skipped", "frags/px"],
-        rows,
-        title=f"{args.benchmark} @ {config.screen_width}x"
-              f"{config.screen_height}, {config.frames} frames",
-    ))
+        _write_metrics(records, spec.obs.metrics, out)
+    if disk is not None:
+        out.info(f"run cache: {cache_hits} hits, "
+                 f"{cache_misses} misses ({disk.directory})")
+    # Tables last, so the primary payload is the tail of the output
+    # whatever observability chatter preceded it.
+    for table in tables:
+        out.result(table)
     return 0
 
 
 def _command_figure(args: argparse.Namespace) -> int:
-    out = _make_output(args)
-    config = _config_from_args(args)
+    resolved, spec, out = _resolve(args)
     global_registry().reset()
-    policy, plan = _resilience_from_args(args)
-    with _command_tracer(args, out) as tracer:
+    with _command_tracer(spec.obs.trace, out) as tracer:
         profiler = SchedulerProfiler(tracer) if tracer is not None else None
-        with SuiteRunner(config, jobs=default_jobs(args.jobs),
+        with SuiteRunner(spec=spec,
                          cache_dir=default_cache_dir(),
                          profiler=profiler,
-                         retry_policy=policy, fault_plan=plan,
-                         journal_dir=default_cache_dir(),
-                         resume=args.resume,
-                         strict=args.strict) as runner:
-            subset = args.benchmarks or None
+                         journal_dir=default_cache_dir()) as runner:
+            subset = list(spec.workload.benchmarks) or None
             result = _FIGURES[args.figure](runner, subset)
             out.result(result.render())
             out.info(runner.cache_summary())
-            if args.metrics:
-                records = runner.metrics_records()
+            if spec.obs.metrics:
+                records = [spec_record(spec)]
+                records.extend(runner.metrics_records())
                 records.append({"record": "registry",
                                 **global_registry().as_dict()})
-                _write_metrics(records, args.metrics, out)
+                _write_metrics(records, spec.obs.metrics, out)
             status = _report_failures(runner, out)
     return status
 
 
 def _command_render(args: argparse.Namespace) -> int:
-    out = _make_output(args)
-    config = _config_from_args(args)
+    resolved, spec, out = _resolve(args)
+    config = spec.gpu
     stream = benchmark_stream(args.benchmark, config)
     mode = PipelineMode(args.mode)
     os.makedirs(args.output, exist_ok=True)
-    gpu = GPU(config, mode)
+    gpu = GPU.from_spec(spec, mode)
     for frame in stream:
         result = gpu.render_frame(frame)
         path = os.path.join(
@@ -397,22 +465,17 @@ def _command_render(args: argparse.Namespace) -> int:
 
 
 def _command_report(args: argparse.Namespace) -> int:
-    out = _make_output(args)
-    config = _config_from_args(args)
+    resolved, spec, out = _resolve(args)
     global_registry().reset()
-    policy, plan = _resilience_from_args(args)
-    with _command_tracer(args, out) as tracer:
+    with _command_tracer(spec.obs.trace, out) as tracer:
         profiler = SchedulerProfiler(tracer) if tracer is not None else None
-        with SuiteRunner(config, jobs=default_jobs(args.jobs),
+        with SuiteRunner(spec=spec,
                          cache_dir=default_cache_dir(),
                          profiler=profiler,
-                         retry_policy=policy, fault_plan=plan,
-                         journal_dir=default_cache_dir(),
-                         resume=args.resume,
-                         strict=args.strict) as runner:
+                         journal_dir=default_cache_dir()) as runner:
             report = render_report(runner)
             summary = runner.cache_summary()
-            records = (runner.metrics_records() if args.metrics else [])
+            records = (runner.metrics_records() if spec.obs.metrics else [])
     if args.output:
         with open(args.output, "w") as handle:
             handle.write(report)
@@ -420,28 +483,30 @@ def _command_report(args: argparse.Namespace) -> int:
     else:
         out.result(report)
     out.info(summary)
-    if args.metrics:
+    if spec.obs.metrics:
+        records.insert(0, spec_record(spec))
         records.append({"record": "registry", **global_registry().as_dict()})
-        _write_metrics(records, args.metrics, out)
+        _write_metrics(records, spec.obs.metrics, out)
     return _report_failures(runner, out)
 
 
 def _command_profile(args: argparse.Namespace) -> int:
     """Render one (benchmark, mode) run under a tracer + profiler and
     print the phase, job and worker-occupancy breakdowns."""
-    out = _make_output(args)
-    config = _config_from_args(args)
+    resolved, spec, out = _resolve(args)
+    config = spec.gpu
     mode = PipelineMode(args.mode)
     global_registry().reset()
     tracer = ChromeTracer()
     profiler = SchedulerProfiler(tracer)
     with tracing(tracer):
-        with make_scheduler(default_jobs(args.jobs),
+        with make_scheduler(spec.scheduler.jobs,
                             profiler=profiler) as scheduler:
             with tracer.span(f"run {args.benchmark}:{mode.value}",
                              category="harness"):
                 stream = benchmark_stream(args.benchmark, config)
-                GPU(config, mode, scheduler=scheduler).render_stream(stream)
+                GPU.from_spec(spec, mode,
+                              scheduler=scheduler).render_stream(stream)
 
     phase_rows = [
         [row["span"], row["count"], row["total_ms"], row["mean_ms"]]
@@ -472,13 +537,14 @@ def _command_profile(args: argparse.Namespace) -> int:
         ["worker", "jobs", "busy ms", "occupancy"], worker_rows,
         title="worker occupancy",
     ))
-    if args.trace:
-        tracer.write(args.trace)
-        out.info(f"trace ({len(tracer.events)} events) -> {args.trace}")
-    if args.metrics:
+    if spec.obs.trace:
+        tracer.write(spec.obs.trace)
+        out.info(f"trace ({len(tracer.events)} events) -> {spec.obs.trace}")
+    if spec.obs.metrics:
         _write_metrics(
-            [{"record": "registry", **global_registry().as_dict()}],
-            args.metrics, out,
+            [spec_record(spec),
+             {"record": "registry", **global_registry().as_dict()}],
+            spec.obs.metrics, out,
         )
     return 0
 
@@ -496,13 +562,79 @@ def _command_cache(args: argparse.Namespace) -> int:
 
 
 def _command_validate(args: argparse.Namespace) -> int:
-    out = _make_output(args)
-    config = _config_from_args(args)
+    resolved, spec, out = _resolve(args)
+    config = spec.gpu
     stream = benchmark_stream(args.benchmark, config)
     report = validate_stream(stream, config)
     out.result(report.render())
     return 0 if report.passed else 1
 
+
+def _spec_ref(ref: str) -> RunSpec:
+    """A spec from a preset name or a spec-file path (``spec diff``)."""
+    if ref in PRESETS:
+        return RunSpec.preset(ref)
+    if os.path.exists(ref):
+        return RunSpec.from_file(ref)
+    raise SpecError(
+        f"unknown spec reference {ref!r}: not a preset "
+        f"({', '.join(preset_names())}) and no such file"
+    )
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, list):
+        return "[" + ", ".join(_format_value(item) for item in value) + "]"
+    return repr(value) if isinstance(value, str) else str(value)
+
+
+def _command_spec(args: argparse.Namespace) -> int:
+    resolved, spec, out = _resolve(args)
+    if args.action == "show":
+        out.result(f"spec_hash: {spec.spec_hash()}")
+        out.result(f"layers: {', '.join(resolved.layers)}")
+        rows = [
+            [path, _format_value(value), resolved.source_of(path)]
+            for path, value in flatten_spec(spec)
+        ]
+        out.result(format_table(["field", "value", "layer"], rows,
+                                title="resolved spec"))
+        return 0
+    if args.action == "dump":
+        text = spec.to_toml()
+        if args.output:
+            with open(args.output, "w") as handle:
+                handle.write(text)
+            out.info(f"spec ({spec.spec_hash()[:12]}) -> {args.output}")
+        else:
+            out.result(text.rstrip("\n"))
+        return 0
+    # diff
+    if len(args.refs) != 2:
+        raise SpecError(
+            "repro spec diff needs exactly two references "
+            "(presets or spec files), e.g. `repro spec diff paper scaled`"
+        )
+    left = _spec_ref(args.refs[0])
+    right = _spec_ref(args.refs[1])
+    differences = left.diff(right)
+    if not differences:
+        out.result(f"specs are identical (hash {left.spec_hash()[:16]})")
+        return 0
+    rows = [
+        [path, _format_value(a), _format_value(b)]
+        for path, a, b in differences
+    ]
+    out.result(format_table(
+        ["field", args.refs[0], args.refs[1]], rows,
+        title=f"spec diff ({len(differences)} fields)",
+    ))
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -518,17 +650,21 @@ def build_parser() -> argparse.ArgumentParser:
 
     run_parser = subparsers.add_parser("run", help="simulate one benchmark",
                                        parents=[output_flags])
-    run_parser.add_argument("benchmark", choices=sorted(BENCHMARKS))
+    run_parser.add_argument("benchmark", nargs="?", default=None,
+                            choices=sorted(BENCHMARKS),
+                            help="benchmark alias (default: the spec's "
+                                 "workload.benchmarks)")
     run_parser.add_argument(
         "--csv", default="",
         help="also dump a per-frame CSV per mode (prefix path)",
     )
     run_parser.add_argument(
-        "--modes", nargs="+",
-        default=["baseline", "re", "evr"],
+        "--modes", nargs="+", default=None,
         choices=[mode.value for mode in PipelineMode],
-        help="pipeline modes to compare (first is the normalization base)",
+        help="pipeline modes to compare (first is the normalization base; "
+             "default baseline re evr)",
     )
+    _add_spec_arguments(run_parser)
     _add_config_arguments(run_parser)
     _add_jobs_argument(run_parser)
     _add_resilience_arguments(run_parser)
@@ -543,6 +679,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--benchmarks", nargs="*",
         help="restrict to these benchmark aliases",
     )
+    _add_spec_arguments(figure_parser)
     _add_config_arguments(figure_parser)
     _add_jobs_argument(figure_parser)
     _add_resilience_arguments(figure_parser, suite=True)
@@ -556,6 +693,7 @@ def build_parser() -> argparse.ArgumentParser:
     render_parser.add_argument("--mode", default="evr",
                                choices=[mode.value for mode in PipelineMode])
     render_parser.add_argument("--output", default="out_frames")
+    _add_spec_arguments(render_parser)
     _add_config_arguments(render_parser)
 
     report_parser = subparsers.add_parser(
@@ -564,6 +702,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     report_parser.add_argument("--output", default="",
                                help="write to a file instead of stdout")
+    _add_spec_arguments(report_parser)
     _add_config_arguments(report_parser)
     _add_jobs_argument(report_parser)
     _add_resilience_arguments(report_parser, suite=True)
@@ -579,6 +718,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--mode", default="evr",
         choices=[mode.value for mode in PipelineMode],
     )
+    _add_spec_arguments(profile_parser)
     _add_config_arguments(profile_parser)
     _add_jobs_argument(profile_parser)
     _add_obs_arguments(profile_parser)
@@ -599,7 +739,28 @@ def build_parser() -> argparse.ArgumentParser:
         parents=[output_flags],
     )
     validate_parser.add_argument("benchmark", choices=sorted(BENCHMARKS))
+    _add_spec_arguments(validate_parser)
     _add_config_arguments(validate_parser)
+
+    spec_parser = subparsers.add_parser(
+        "spec",
+        help="show, diff or dump the resolved experiment spec",
+        parents=[output_flags],
+    )
+    spec_parser.add_argument("action", choices=("show", "diff", "dump"))
+    spec_parser.add_argument(
+        "refs", nargs="*",
+        help="for diff: two preset names or spec-file paths",
+    )
+    spec_parser.add_argument(
+        "--output", default="",
+        help="for dump: write the TOML here instead of stdout",
+    )
+    _add_spec_arguments(spec_parser)
+    _add_config_arguments(spec_parser)
+    _add_jobs_argument(spec_parser)
+    _add_resilience_arguments(spec_parser, suite=True)
+    _add_obs_arguments(spec_parser)
 
     return parser
 
@@ -613,12 +774,19 @@ _COMMANDS = {
     "profile": _command_profile,
     "validate": _command_validate,
     "cache": _command_cache,
+    "spec": _command_spec,
 }
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except ConfigError as error:
+        # SpecError included: a bad spec/flag combination is a usage
+        # error, reported cleanly instead of as a traceback.
+        print(f"repro: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

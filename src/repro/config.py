@@ -27,7 +27,8 @@ def default_jobs(cli_value: Optional[int] = None) -> int:
 
     Precedence: an explicit CLI ``--jobs`` value, then the ``REPRO_JOBS``
     environment variable, then 1 (serial — the historical behaviour).
-    A malformed ``REPRO_JOBS`` is ignored rather than fatal.
+    A malformed ``REPRO_JOBS`` is ignored rather than fatal, but is
+    named in a one-shot warning so the fallback never passes silently.
     """
     if cli_value is not None:
         return cli_value
@@ -35,6 +36,13 @@ def default_jobs(cli_value: Optional[int] = None) -> int:
     try:
         return int(env) if env else 1
     except ValueError:
+        from .obs.log import warn_once
+
+        warn_once(
+            "config", f"REPRO_JOBS={env}",
+            f"ignoring malformed REPRO_JOBS={env!r} "
+            f"(expected an integer); running serial",
+        )
         return 1
 
 

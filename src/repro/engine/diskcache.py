@@ -60,6 +60,30 @@ def default_cache_dir() -> str:
     return os.environ.get(_ENV_CACHE_DIR) or DEFAULT_CACHE_DIRNAME
 
 
+#: Cache-key schema version.  Bumped when the key derivation changes so
+#: stale entries from an older derivation can never alias new ones.
+#: ``runspec-v1``: keys derive from ``RunSpec.spec_hash()`` (the
+#: canonical hash of the result-affecting spec sections) instead of the
+#: older hand-rolled ``repr`` tuple.
+KEY_SCHEMA = "runspec-v1"
+
+
+def run_cache_key(spec, benchmark: str, mode: str,
+                  code: Optional[str] = None) -> str:
+    """The disk-cache key for one (spec, benchmark, mode) cell.
+
+    ``spec`` is duck-typed (anything with a ``spec_hash()``) so this
+    module stays importable without :mod:`repro.spec`.  Scheduler,
+    resilience and observability settings are excluded by the spec hash
+    itself — they never change a result, so they must never split the
+    cache.  ``code`` defaults to the current :func:`code_version`.
+    """
+    return DiskCache.make_key(
+        KEY_SCHEMA, spec.spec_hash(), benchmark, mode,
+        code if code is not None else code_version(),
+    )
+
+
 def code_version() -> str:
     """Digest of the ``repro`` package's source files.
 

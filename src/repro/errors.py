@@ -16,6 +16,17 @@ class ConfigError(ReproError):
     """An invalid or inconsistent :class:`repro.config.GPUConfig`."""
 
 
+class SpecError(ConfigError):
+    """An invalid experiment spec (:mod:`repro.spec`).
+
+    Raised eagerly at resolution time — unknown keys, type mismatches,
+    malformed ``--set`` expressions, unreadable spec files — so a bad
+    spec can never reach the simulator.  Subclasses :class:`ConfigError`
+    because a spec *is* configuration; callers that already catch
+    ``ConfigError`` keep working.
+    """
+
+
 class PipelineError(ReproError):
     """The graphics pipeline was driven in an illegal way.
 

@@ -29,8 +29,16 @@ from typing import Dict, List, Optional, Sequence
 from ..config import GPUConfig
 from ..pipeline import PipelineMode
 from ..scenes import BENCHMARKS, benchmark_names
+from ..spec import RunSpec
 from .runner import RunMetrics, SuiteRunner
 from .tables import format_table
+
+
+def _default_runner() -> SuiteRunner:
+    """Figure functions default to the ``scaled`` preset spec — the same
+    configuration (192x160, 16 frames) the test-suite and harness have
+    always used, now named and hashable."""
+    return SuiteRunner(spec=RunSpec.preset("scaled"))
 
 
 @dataclass
@@ -112,7 +120,7 @@ def figure6_energy(runner: Optional[SuiteRunner] = None,
     Also reports the two overheads the paper singles out: extra Parameter
     Buffer writes for layer identifiers, and the added EVR/RE hardware.
     """
-    runner = runner or SuiteRunner()
+    runner = runner or _default_runner()
     names = list(benchmarks or benchmark_names())
     # One fan-out for every run this figure needs (parallel under --jobs).
     runner.prefetch(names, [PipelineMode.BASELINE, PipelineMode.EVR])
@@ -148,7 +156,7 @@ def figure7_time(runner: Optional[SuiteRunner] = None,
                  benchmarks: Optional[Sequence[str]] = None) -> ExperimentResult:
     """Figure 7: EVR execution time normalized to baseline, split into
     Geometry and Raster pipeline cycles."""
-    runner = runner or SuiteRunner()
+    runner = runner or _default_runner()
     names = list(benchmarks or benchmark_names())
     # One fan-out for every run this figure needs (parallel under --jobs).
     runner.prefetch(names, [PipelineMode.BASELINE, PipelineMode.EVR])
@@ -183,7 +191,7 @@ def figure8_overshading(runner: Optional[SuiteRunner] = None,
     the reorder-only mode: Rendering Elimination would remove whole tiles
     and conflate the two effects the paper separates.
     """
-    runner = runner or SuiteRunner()
+    runner = runner or _default_runner()
     names = list(benchmarks or benchmark_names("3D"))
     # One fan-out for every run this figure needs (parallel under --jobs).
     runner.prefetch(names, [PipelineMode.BASELINE, PipelineMode.EVR_REORDER_ONLY, PipelineMode.ORACLE])
@@ -217,7 +225,7 @@ def figure9_redundant_tiles(runner: Optional[SuiteRunner] = None,
                             benchmarks: Optional[Sequence[str]] = None) -> ExperimentResult:
     """Figure 9: fraction of tiles detected redundant by RE, EVR-aided RE
     and the pixel-exact oracle."""
-    runner = runner or SuiteRunner()
+    runner = runner or _default_runner()
     names = list(benchmarks or benchmark_names())
     # One fan-out for every run this figure needs (parallel under --jobs).
     runner.prefetch(names, [PipelineMode.RE, PipelineMode.EVR, PipelineMode.ORACLE])
@@ -256,7 +264,7 @@ def figure9_redundant_tiles(runner: Optional[SuiteRunner] = None,
 def figure10_energy_vs_re(runner: Optional[SuiteRunner] = None,
                           benchmarks: Optional[Sequence[str]] = None) -> ExperimentResult:
     """Figure 10: EVR energy normalized to the RE GPU."""
-    runner = runner or SuiteRunner()
+    runner = runner or _default_runner()
     names = list(benchmarks or benchmark_names())
     # One fan-out for every run this figure needs (parallel under --jobs).
     runner.prefetch(names, [PipelineMode.RE, PipelineMode.EVR])
@@ -284,7 +292,7 @@ def figure11_time_vs_re(runner: Optional[SuiteRunner] = None,
                         benchmarks: Optional[Sequence[str]] = None) -> ExperimentResult:
     """Figure 11: RE and EVR execution time normalized to baseline,
     split into Geometry and Raster cycles."""
-    runner = runner or SuiteRunner()
+    runner = runner or _default_runner()
     names = list(benchmarks or benchmark_names())
     # One fan-out for every run this figure needs (parallel under --jobs).
     runner.prefetch(names, [PipelineMode.BASELINE, PipelineMode.RE, PipelineMode.EVR])

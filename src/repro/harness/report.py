@@ -10,7 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
-from ..config import GPUConfig
+from ..spec import RunSpec
 from .experiments import (
     figure6_energy,
     figure7_time,
@@ -88,7 +88,7 @@ def paper_vs_measured(
 ) -> List[Dict[str, object]]:
     """Evaluate every claim; returns rows of experiment/metric/paper/
     measured/ratio."""
-    runner = runner or SuiteRunner(GPUConfig.default())
+    runner = runner or SuiteRunner(spec=RunSpec.preset("scaled"))
     rows: List[Dict[str, object]] = []
     for claim in _claims():
         measured = claim.extract(runner)
@@ -104,9 +104,17 @@ def paper_vs_measured(
 
 def render_report(runner: Optional[SuiteRunner] = None) -> str:
     """Markdown paper-vs-measured table plus the per-figure tables."""
-    runner = runner or SuiteRunner(GPUConfig.default())
+    runner = runner or SuiteRunner(spec=RunSpec.preset("scaled"))
+    spec = runner.spec
     lines = [
         "# Paper vs measured",
+        "",
+        # Provenance: the exact spec that produced these numbers, so a
+        # report is reproducible from its own header.
+        f"spec_hash: `{spec.spec_hash()}`",
+        f"gpu: {spec.gpu.screen_width}x{spec.gpu.screen_height}, "
+        f"{spec.gpu.frames} frames, tile "
+        f"{spec.gpu.tile_width}x{spec.gpu.tile_height}",
         "",
         "| experiment | metric | paper | measured |",
         "| --- | --- | ---: | ---: |",

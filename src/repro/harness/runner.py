@@ -8,9 +8,11 @@ top of each other:
 * an in-memory memo per :class:`SuiteRunner` instance (several figures
   share the same underlying runs — Figures 6, 7, 10 and 11 all need
   BASELINE/RE/EVR);
-* an optional on-disk cache under ``.repro_cache/`` keyed by (benchmark,
-  mode, config, frames, code-version), so a *second invocation* of any
-  figure script reuses the first one's runs without constructing a GPU;
+* an optional on-disk cache under ``.repro_cache/`` keyed by the run
+  spec's canonical content hash plus (benchmark, mode, code-version) —
+  see :func:`repro.engine.diskcache.run_cache_key` — so a *second
+  invocation* of any figure script reuses the first one's runs without
+  constructing a GPU;
 * an optional :class:`~repro.engine.ProcessPoolScheduler` fan-out, so the
   independent (benchmark, mode) simulations of a suite sweep run in
   parallel (``--jobs N`` / ``REPRO_JOBS``).
@@ -26,12 +28,11 @@ placeholders instead of aborting the sweep.
 from __future__ import annotations
 
 import dataclasses
-import os
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..config import GPUConfig
-from ..engine.diskcache import DiskCache, code_version
+from ..engine.diskcache import DiskCache, run_cache_key
 from ..engine.scheduler import Scheduler, make_scheduler
 from ..obs.profile import SchedulerProfiler
 from ..obs.trace import get_tracer
@@ -44,6 +45,7 @@ from ..resilience import (
     RunJournal,
 )
 from ..scenes import benchmark_names, benchmark_stream
+from ..spec import RunSpec
 
 
 class _NaNBreakdown(dict):
@@ -146,35 +148,51 @@ def run_benchmark(
     config: Optional[GPUConfig] = None,
     frames: Optional[int] = None,
     scheduler: Optional[Scheduler] = None,
+    spec: Optional[RunSpec] = None,
 ) -> RunMetrics:
     """Render one benchmark under one mode and return its metrics.
 
-    ``scheduler`` optionally fans the per-frame tile work out (see
-    :mod:`repro.engine`); metrics are identical whichever scheduler runs.
+    ``spec`` supplies the feature overrides and cost/energy parameters
+    (defaults reproduce the historical behaviour exactly); an explicit
+    ``config``/``frames`` wins over ``spec.gpu`` for callers that sweep
+    around a fixed spec.  ``scheduler`` optionally fans the per-frame
+    tile work out (see :mod:`repro.engine`); metrics are identical
+    whichever scheduler runs.
     """
-    config = config or GPUConfig.default()
+    if spec is None:
+        spec = RunSpec.from_config(config or GPUConfig.default())
+    config = config or spec.gpu
     with get_tracer().span(f"run {benchmark}:{mode.value}",
                            category="harness"):
         stream = benchmark_stream(benchmark, config, frames)
-        gpu = GPU(config, mode, scheduler=scheduler)
+        gpu = GPU.from_spec(spec, mode, scheduler=scheduler, config=config)
         result = gpu.render_stream(stream)
         return metrics_from_result(benchmark, mode, result)
 
 
 def _run_pair(
-    payload: Tuple[str, PipelineMode, GPUConfig, Optional[int]]
+    payload: Tuple[str, PipelineMode, RunSpec]
 ) -> RunMetrics:
     """Process-pool entry point for one (benchmark, mode) simulation."""
-    benchmark, mode, config, frames = payload
-    return run_benchmark(benchmark, mode, config, frames)
+    benchmark, mode, spec = payload
+    return run_benchmark(benchmark, mode, spec=spec)
 
 
 class SuiteRunner:
     """Memoizing runner shared by all experiment functions.
 
+    The runner's identity is a :class:`~repro.spec.RunSpec`: disk-cache
+    and journal keys derive from ``spec.spec_hash()`` plus the simulator
+    code version, and execution policy (jobs, retries, faults, resume)
+    defaults from the spec's scheduler/resilience sections.  The legacy
+    keyword arguments still work — they are folded into an equivalent
+    spec — and explicit keywords win over the spec's sections.
+
     Args:
-        config: simulation configuration (default: the scaled config).
-        frames: frame-count override passed to the scene generators.
+        config: simulation configuration (default: ``spec.gpu``, or the
+            scaled config when no spec is given).
+        frames: frame-count override; folded into the spec's GPU config
+            (``benchmark_stream`` reads the count from there).
         jobs: worker processes for suite-level fan-out; ``None``/1 runs
             serially, exactly as before.
         cache_dir: directory of the persistent run cache; ``None``
@@ -195,6 +213,8 @@ class SuiteRunner:
         strict: when True the caller is expected to exit non-zero if
             :attr:`failures` is non-empty; the runner itself always
             completes the sweep either way.
+        spec: the declarative experiment spec this runner executes.
+            ``None`` builds one from the legacy keyword arguments.
     """
 
     def __init__(self, config: Optional[GPUConfig] = None,
@@ -206,14 +226,28 @@ class SuiteRunner:
                  fault_plan: Optional[FaultPlan] = None,
                  journal_dir: Optional[str] = None,
                  resume: bool = False,
-                 strict: bool = False):
-        self.config = config or GPUConfig.default()
-        self.frames = frames
+                 strict: bool = False,
+                 spec: Optional[RunSpec] = None):
+        if spec is None:
+            spec = RunSpec.from_config(config or GPUConfig.default())
+        gpu = config if config is not None else spec.gpu
+        if frames is not None:
+            gpu = gpu.scaled(frames=frames)
+        if gpu != spec.gpu:
+            spec = dataclasses.replace(spec, gpu=gpu)
+        if jobs is None:
+            jobs = spec.scheduler.jobs
+        if retry_policy is None and fault_plan is None:
+            retry_policy = spec.resilience.retry_policy()
+            fault_plan = spec.resilience.fault_plan()
+        self.spec = spec
+        self.config = spec.gpu
         self.jobs = jobs or 1
         self.profiler = profiler
         self.retry_policy = retry_policy
         self.fault_plan = fault_plan
-        self.strict = strict
+        self.strict = strict or spec.resilience.strict
+        resume = resume or spec.resilience.resume
         self._cache: Dict[Tuple[str, PipelineMode], RunMetrics] = {}
         self._disk = DiskCache(cache_dir) if cache_dir else None
         self._scheduler: Optional[Scheduler] = None
@@ -223,13 +257,7 @@ class SuiteRunner:
         self.failures: Dict[Tuple[str, PipelineMode], JobFailure] = {}
         self._journal: Optional[RunJournal] = None
         if journal_dir:
-            suite_key = DiskCache.make_key(
-                "suite-journal", self.config, self.frames, code_version()
-            )
-            self._journal = RunJournal(
-                os.path.join(journal_dir, f"journal-{suite_key[:16]}.jsonl"),
-                suite_key,
-            )
+            self._journal = RunJournal.for_spec(journal_dir, spec)
             if resume:
                 self._replay_journal()
             self._journal.open(fresh=not resume)
@@ -286,9 +314,7 @@ class SuiteRunner:
     # -- disk cache ---------------------------------------------------------
 
     def _disk_key(self, benchmark: str, mode: PipelineMode) -> str:
-        return DiskCache.make_key(
-            benchmark, mode.value, self.config, self.frames, code_version()
-        )
+        return run_cache_key(self.spec, benchmark, mode.value)
 
     def _load_cached(self, benchmark: str,
                      mode: PipelineMode) -> Optional[RunMetrics]:
@@ -371,7 +397,7 @@ class SuiteRunner:
                 self.cache_misses += 1
                 self._store(
                     key,
-                    run_benchmark(benchmark, mode, self.config, self.frames),
+                    run_benchmark(benchmark, mode, spec=self.spec),
                     to_disk=True,
                 )
         return self._cache[key]
@@ -396,7 +422,7 @@ class SuiteRunner:
         if missing:
             self.cache_misses += len(missing)
             payloads = [
-                (benchmark, mode, self.config, self.frames)
+                (benchmark, mode, self.spec)
                 for benchmark, mode in missing
             ]
             if self.resilient:
@@ -427,8 +453,7 @@ class SuiteRunner:
                 for benchmark, mode in missing:
                     self._store(
                         (benchmark, mode),
-                        run_benchmark(benchmark, mode, self.config,
-                                      self.frames),
+                        run_benchmark(benchmark, mode, spec=self.spec),
                         to_disk=True,
                     )
 
@@ -448,7 +473,9 @@ def run_suite(
     benchmarks: Optional[Sequence[str]] = None,
     jobs: Optional[int] = None,
     cache_dir: Optional[str] = None,
+    spec: Optional[RunSpec] = None,
 ) -> Dict[Tuple[str, str], RunMetrics]:
     """Run (a subset of) the 20-benchmark suite under several modes."""
-    with SuiteRunner(config, frames, jobs=jobs, cache_dir=cache_dir) as runner:
+    with SuiteRunner(config, frames, jobs=jobs, cache_dir=cache_dir,
+                     spec=spec) as runner:
         return runner.run_many(benchmarks or benchmark_names(), modes)

@@ -35,6 +35,27 @@ def get_logger(name: str = "") -> logging.Logger:
     return logging.getLogger(_PACKAGE_LOGGER)
 
 
+_warned_once: set = set()
+
+
+def warn_once(name: str, key: str, message: str) -> None:
+    """Emit ``message`` on the ``repro.<name>`` logger at WARNING level,
+    at most once per process for a given ``key``.
+
+    Used for conditions that would otherwise spam on every resolution —
+    e.g. a malformed ``REPRO_JOBS`` value read by every subcommand.
+    """
+    if key in _warned_once:
+        return
+    _warned_once.add(key)
+    get_logger(name).warning("%s", message)
+
+
+def reset_warn_once() -> None:
+    """Forget which one-shot warnings fired (test isolation hook)."""
+    _warned_once.clear()
+
+
 def setup_logging(verbosity: int = NORMAL,
                   stream: Optional[IO[str]] = None) -> None:
     """Configure the ``repro`` logger for CLI use.

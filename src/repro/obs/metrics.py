@@ -256,6 +256,18 @@ def run_record(benchmark: str, mode: str, result,
     return record
 
 
+def spec_record(spec) -> Dict[str, Any]:
+    """The provenance header record for a metrics export: the fully
+    resolved spec plus its canonical hash, so any exported numbers can
+    be traced back to (and replayed from) the exact configuration that
+    produced them.  Duck-typed against :class:`repro.spec.RunSpec`."""
+    return {
+        "record": "spec",
+        "spec_hash": spec.spec_hash(),
+        "spec": spec.to_dict(),
+    }
+
+
 # -- record exporters --------------------------------------------------------
 
 

@@ -113,7 +113,11 @@ class RunResult:
 
     def total_cycles(self, warmup: int = DEFAULT_WARMUP) -> "CycleTotals":
         """Geometry/Raster cycle totals over steady-state frames."""
-        assert self.cost_model is not None
+        if self.cost_model is None:
+            raise PipelineError(
+                "RunResult has no cost model attached; cycle totals are "
+                "only available on results produced by GPU.render_stream"
+            )
         geometry = 0.0
         raster = 0.0
         for frame_result in self._steady_frames(warmup):
@@ -127,7 +131,11 @@ class RunResult:
 
     def total_energy(self, warmup: int = DEFAULT_WARMUP) -> EnergyBreakdown:
         """Energy breakdown over steady-state frames."""
-        assert self.energy_model is not None
+        if self.energy_model is None:
+            raise PipelineError(
+                "RunResult has no energy model attached; energy totals are "
+                "only available on results produced by GPU.render_stream"
+            )
         stats = self.total_stats(warmup)
         merged: Dict[str, Dict[str, int]] = {}
         for frame_result in self._steady_frames(warmup):
@@ -228,6 +236,34 @@ class GPU:
         )
         self._previous_image: Optional[np.ndarray] = None
         self._rendering = False
+
+    @classmethod
+    def from_spec(
+        cls,
+        spec,
+        mode: Union[PipelineFeatures, PipelineMode] = PipelineMode.BASELINE,
+        scheduler: Optional[Scheduler] = None,
+        config: Optional[GPUConfig] = None,
+    ) -> "GPU":
+        """Build a GPU from a :class:`repro.spec.RunSpec`.
+
+        ``mode`` selects the pipeline variant; the spec's feature
+        overrides are applied on top of the mode's feature set, and the
+        spec's cost/energy parameters flow into the models.  ``config``
+        overrides ``spec.gpu`` for callers that sweep resolutions or
+        frame counts around a fixed spec.  The spec is duck-typed so
+        this module never imports :mod:`repro.spec` (which imports the
+        feature definitions from this package).
+        """
+        if isinstance(mode, PipelineMode):
+            mode = mode.features()
+        return cls(
+            config=config if config is not None else spec.gpu,
+            features=spec.features.apply(mode),
+            cost_params=spec.cost,
+            energy_params=spec.energy,
+            scheduler=scheduler,
+        )
 
     def render_stream(self, stream: FrameStream) -> RunResult:
         """Render every frame of ``stream`` and collect results."""

@@ -39,6 +39,29 @@ class RunJournal:
         self.suite_key = suite_key
         self._handle: Optional[IO[str]] = None
 
+    @classmethod
+    def for_spec(cls, directory: str, spec,
+                 code: Optional[str] = None) -> "RunJournal":
+        """A journal keyed by ``spec.spec_hash()`` + code version.
+
+        The same derivation the disk cache uses
+        (:func:`repro.engine.diskcache.run_cache_key`), so a journal and
+        the cache agree on what counts as "the same suite".  ``spec`` is
+        duck-typed (anything with a ``spec_hash()``) to keep this module
+        import-light.
+        """
+        from ..engine.diskcache import DiskCache, KEY_SCHEMA, code_version
+
+        suite_key = DiskCache.make_key(
+            KEY_SCHEMA, "suite-journal", spec.spec_hash(),
+            code if code is not None else code_version(),
+        )
+        # The key lands in the filename too, so journals of different
+        # suites coexist instead of overwriting each other's checkpoints.
+        return cls(os.path.join(directory,
+                                f"journal-{suite_key[:16]}.jsonl"),
+                   suite_key)
+
     # -- reading -------------------------------------------------------------
 
     def _header_matches(self) -> bool:

@@ -9,6 +9,7 @@ import repro.cli
 from repro.cli import build_parser, main
 from repro.engine import SerialScheduler
 from repro.obs import NULL_TRACER, get_tracer
+from repro.spec import spec_from_args
 
 
 class TestParser:
@@ -17,10 +18,17 @@ class TestParser:
             build_parser().parse_args([])
 
     def test_run_defaults(self):
+        # Parser defaults are all None so spec files are never masked by
+        # untouched flags; the resolved spec supplies the real defaults.
         args = build_parser().parse_args(["run", "cde"])
         assert args.benchmark == "cde"
-        assert args.modes == ["baseline", "re", "evr"]
-        assert args.frames == 10
+        assert args.modes is None
+        assert args.frames is None
+        spec = spec_from_args(args).spec
+        assert spec.workload.modes == ("baseline", "re", "evr")
+        assert spec.gpu.frames == 10
+        assert spec.gpu.screen_width == 192
+        assert spec.gpu.screen_height == 160
 
     def test_unknown_benchmark_rejected(self):
         with pytest.raises(SystemExit):
@@ -50,7 +58,8 @@ class TestParser:
     def test_profile_defaults(self):
         args = build_parser().parse_args(["profile", "hop"])
         assert args.mode == "evr"
-        assert args.trace == ""
+        assert args.trace is None
+        assert spec_from_args(args).spec.obs.trace == ""
 
 
 class TestCommands:
@@ -176,6 +185,10 @@ class TestObservabilityFlags:
             def __init__(self, *args, **kwargs):
                 pass
 
+            @classmethod
+            def from_spec(cls, spec, mode, scheduler=None, config=None):
+                return cls()
+
             def render_stream(self, stream):
                 raise RuntimeError("boom")
 
@@ -210,20 +223,26 @@ class TestResilienceFlags:
     def test_resilience_defaults_disarmed(self, monkeypatch):
         monkeypatch.delenv("REPRO_FAULTS", raising=False)
         args = build_parser().parse_args(["run", "cde"])
-        assert repro.cli._resilience_from_args(args) == (None, None)
+        resilience = spec_from_args(args).spec.resilience
+        assert not resilience.armed
+        assert resilience.retry_policy() is None
+        assert resilience.fault_plan() is None
 
     def test_env_spec_arms_the_plan(self, monkeypatch):
         monkeypatch.setenv("REPRO_FAULTS", "raise:0.5")
         args = build_parser().parse_args(["run", "cde"])
-        policy, plan = repro.cli._resilience_from_args(args)
+        resilience = spec_from_args(args).spec.resilience
+        policy = resilience.retry_policy()
+        plan = resilience.fault_plan()
         assert policy is not None and policy.max_attempts == 4
         assert plan.rates == {"raise": 0.5}
 
     def test_retries_alone_arm_policy_without_plan(self, monkeypatch):
         monkeypatch.delenv("REPRO_FAULTS", raising=False)
         args = build_parser().parse_args(["run", "cde", "--retries", "2"])
-        policy, plan = repro.cli._resilience_from_args(args)
-        assert policy.max_attempts == 2 and plan is None
+        resilience = spec_from_args(args).spec.resilience
+        assert resilience.retry_policy().max_attempts == 2
+        assert resilience.fault_plan() is None
 
     def test_run_with_retries_armed_matches_plain_run(self, monkeypatch,
                                                       capsys):
