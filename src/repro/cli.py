@@ -53,6 +53,7 @@ import sys
 from contextlib import contextmanager
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
+from . import __version__
 from .engine import DiskCache, default_cache_dir, make_scheduler
 from .engine.diskcache import run_cache_key
 from .errors import ConfigError, SpecError
@@ -76,7 +77,15 @@ from .harness.balance import pipeline_balance_report
 from .harness.timeseries import frame_series, write_csv
 from .harness.report import render_report
 from .harness.runner import RunMetrics, SuiteRunner, metrics_from_result
+from .harness.bench import (
+    BENCH_PRESETS,
+    check_bench_regression,
+    format_bench_summary,
+    run_bench,
+    write_bench_json,
+)
 from .imageio import write_ppm
+from .kernels import DEFAULT_BACKEND, available_backends
 from .obs import (
     ChromeTracer,
     Output,
@@ -175,6 +184,13 @@ def _add_jobs_argument(parser: argparse.ArgumentParser) -> None:
         help="worker processes for scheduler fan-out "
              "(default: $REPRO_JOBS or 1 = serial; "
              "negative = all CPU cores)",
+    )
+    parser.add_argument(
+        "--backend", default=None, choices=available_backends(),
+        help="kernel backend for the fragment hot path "
+             "(default: $REPRO_BACKEND or "
+             f"{DEFAULT_BACKEND}; backends are bit-identical, "
+             "so results and cache entries are shared)",
     )
 
 
@@ -561,6 +577,26 @@ def _command_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_bench(args: argparse.Namespace) -> int:
+    out = _make_output(args)
+    record = run_bench(args.preset, backends=args.backends,
+                       repeat=args.repeat)
+    path = args.output or f"BENCH_{args.preset}.json"
+    write_bench_json(record, path)
+    out.result(format_bench_summary(record))
+    out.result(f"wrote {path}")
+    if args.check:
+        failures = check_bench_regression(record, args.check,
+                                          args.tolerance)
+        for failure in failures:
+            print(f"repro bench: REGRESSION: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+        out.result(f"no regression against {args.check} "
+                   f"(tolerance {args.tolerance:.0%})")
+    return 0
+
+
 def _command_validate(args: argparse.Namespace) -> int:
     resolved, spec, out = _resolve(args)
     config = spec.gpu
@@ -641,6 +677,12 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="EVR (HPCA 2019) reproduction: TBR GPU simulator, "
                     "benchmarks and figure regeneration.",
+    )
+    parser.add_argument(
+        "--version", action="version",
+        version=(f"repro {__version__} "
+                 f"(kernel backends: {', '.join(available_backends())}; "
+                 f"default: {DEFAULT_BACKEND})"),
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
     output_flags = _output_flags_parent()
@@ -723,6 +765,39 @@ def build_parser() -> argparse.ArgumentParser:
     _add_jobs_argument(profile_parser)
     _add_obs_arguments(profile_parser)
 
+    bench_parser = subparsers.add_parser(
+        "bench",
+        help="measure backend throughput; emit BENCH_<preset>.json",
+        parents=[output_flags],
+    )
+    bench_parser.add_argument(
+        "--preset", default="default", choices=sorted(BENCH_PRESETS),
+        help="bench workload (resolution, frames, geometry load)",
+    )
+    bench_parser.add_argument(
+        "--backends", nargs="+", default=None,
+        choices=available_backends(), metavar="BACKEND",
+        help="backends to measure (default: all available)",
+    )
+    bench_parser.add_argument(
+        "--repeat", type=int, default=3, metavar="N",
+        help="kernel-sweep repetitions; best-of-N is reported",
+    )
+    bench_parser.add_argument(
+        "--output", default="", metavar="FILE",
+        help="result JSON path (default BENCH_<preset>.json)",
+    )
+    bench_parser.add_argument(
+        "--check", default="", metavar="BASELINE",
+        help="committed baseline JSON to gate against (exit 1 when the "
+             "numpy/python speedup ratio regresses beyond --tolerance)",
+    )
+    bench_parser.add_argument(
+        "--tolerance", type=float, default=0.2, metavar="FRAC",
+        help="allowed fractional speedup regression for --check "
+             "(default 0.2)",
+    )
+
     cache_parser = subparsers.add_parser(
         "cache", help="inspect or clear the persistent run cache",
         parents=[output_flags],
@@ -773,6 +848,7 @@ _COMMANDS = {
     "report": _command_report,
     "profile": _command_profile,
     "validate": _command_validate,
+    "bench": _command_bench,
     "cache": _command_cache,
     "spec": _command_spec,
 }

@@ -14,13 +14,19 @@ end-of-tile FVP state (Layer/Z buffers) travels back in the
 :class:`TileResult` for the parent-side predictor.  This is what makes the
 parallel and serial schedulers equal by construction: the compute
 parallelizes, the stateful reduction stays deterministic.
+
+The per-fragment arithmetic itself is dispatched through the kernel
+backend seam (:mod:`repro.kernels`): ``TileJob.backend`` names the
+implementation (scalar reference or batched numpy) and the job calls only
+the backend's pure array kernels — backends are bit-identical by
+contract, so the choice is execution policy, not part of the result.
 """
 
 from __future__ import annotations
 
 import copy
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import List, NamedTuple, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -28,16 +34,105 @@ from ..commands.state import BlendMode
 from ..config import GPUConfig
 from ..hw.buffers import ColorBuffer, LayerBuffer, ZBuffer
 from ..hw.parameter_buffer import POINTER_BYTES, DisplayListEntry
+from ..kernels import DEFAULT_BACKEND, resolve_backend
+from ..kernels.tile_geometry import tile_origin, valid_mask
 from ..pipeline.features import PipelineFeatures
-from ..pipeline.rasterizer import rasterize_in_tile
 from ..timing.stats import FrameStats
 
 _ALPHA_OPAQUE = 1.0 - 1e-9
 
-# Memory-trace opcodes (tuples pickle cheaply and replay trivially).
-_OP_PB_READ = "pb_read"
-_OP_TEXTURE = "texture"
-_OP_FLUSH = "flush"
+# Memory-trace opcodes: small ints dispatch faster than strings and pack
+# to one byte each on the wire (see MemOps).
+OP_PB_READ = 0
+OP_TEXTURE = 1
+OP_FLUSH = 2
+
+
+class PBReadOp(NamedTuple):
+    """Parameter Buffer read (display-list pointer or attribute fetch)."""
+
+    offset: int
+    size: int
+
+
+class TextureOp(NamedTuple):
+    """One batched texture-sampling burst for a shaded fragment set."""
+
+    texture_id: int
+    texture_size: int
+    u: np.ndarray
+    v: np.ndarray
+    samples_per_fragment: int
+
+
+class FlushOp(NamedTuple):
+    """End-of-tile color flush to DRAM."""
+
+    num_bytes: int
+
+
+PBReadOp.code = OP_PB_READ
+TextureOp.code = OP_TEXTURE
+FlushOp.code = OP_FLUSH
+
+#: Any recorded memory-trace operation.
+MemOp = Tuple  # typing alias: PBReadOp | TextureOp | FlushOp
+
+
+def _pack_memory_ops(ops: "MemOps") -> Tuple[bytes, Tuple, Tuple]:
+    """Compact wire form: one code byte per op, all int operands in one
+    flat tuple, texture coordinate arrays kept as-is."""
+    codes = bytearray()
+    ints: List[int] = []
+    arrays: List[np.ndarray] = []
+    for op in ops:
+        code = op.code
+        codes.append(code)
+        if code == OP_TEXTURE:
+            ints.extend((op.texture_id, op.texture_size,
+                         op.samples_per_fragment))
+            arrays.append(op.u)
+            arrays.append(op.v)
+        else:
+            ints.extend(op)
+    return bytes(codes), tuple(ints), tuple(arrays)
+
+
+def _unpack_memory_ops(codes: bytes, ints: Tuple, arrays: Tuple) -> "MemOps":
+    """Inverse of :func:`_pack_memory_ops` (the pickle reconstructor)."""
+    ops = MemOps()
+    cursor = 0
+    array_cursor = 0
+    for code in codes:
+        if code == OP_PB_READ:
+            ops.append(PBReadOp(ints[cursor], ints[cursor + 1]))
+            cursor += 2
+        elif code == OP_TEXTURE:
+            ops.append(TextureOp(
+                ints[cursor], ints[cursor + 1],
+                arrays[array_cursor], arrays[array_cursor + 1],
+                ints[cursor + 2],
+            ))
+            cursor += 3
+            array_cursor += 2
+        else:
+            ops.append(FlushOp(ints[cursor]))
+            cursor += 1
+    return ops
+
+
+class MemOps(list):
+    """An op list that pickles in packed form.
+
+    Tile results cross process boundaries under the pool scheduler, so
+    the trace's wire size matters.  Packing (code bytes + one int tuple)
+    undercuts both the historical raw-tuple encoding and naive
+    NamedTuple pickling; ``tests/test_memtrace_ops.py`` pins the "never
+    larger than the raw tuples" property.
+    """
+
+    def __reduce__(self):
+        return (_unpack_memory_ops, _pack_memory_ops(self))
 
 
 class MemoryTrace:
@@ -49,23 +144,23 @@ class MemoryTrace:
     """
 
     def __init__(self) -> None:
-        self.ops: List[Tuple] = []
+        self.ops: MemOps = MemOps()
 
     def parameter_buffer_read(self, offset: int, size: int) -> None:
-        self.ops.append((_OP_PB_READ, offset, size))
+        self.ops.append(PBReadOp(offset, size))
 
     def texture_batch(self, texture_id: int, texture_size: int,
                       u: np.ndarray, v: np.ndarray,
                       samples_per_fragment: int = 1) -> None:
         self.ops.append(
-            (_OP_TEXTURE, texture_id, texture_size, u, v, samples_per_fragment)
+            TextureOp(texture_id, texture_size, u, v, samples_per_fragment)
         )
 
     def framebuffer_flush(self, num_bytes: int) -> None:
-        self.ops.append((_OP_FLUSH, num_bytes))
+        self.ops.append(FlushOp(num_bytes))
 
 
-def replay_memory_trace(ops: Sequence[Tuple], memory) -> None:
+def replay_memory_trace(ops: Sequence[MemOp], memory) -> None:
     """Replay a job's recorded accesses into the real memory system.
 
     Called by the engine in tile order, preserving the access sequence the
@@ -73,15 +168,16 @@ def replay_memory_trace(ops: Sequence[Tuple], memory) -> None:
     cycle totals are therefore identical whichever scheduler ran the job.
     """
     for op in ops:
-        kind = op[0]
-        if kind == _OP_PB_READ:
-            memory.parameter_buffer_read(op[1], op[2])
-        elif kind == _OP_TEXTURE:
-            memory.texture_batch(op[1], op[2], op[3], op[4], op[5])
-        elif kind == _OP_FLUSH:
-            memory.framebuffer_flush(op[1])
+        code = op.code
+        if code == OP_PB_READ:
+            memory.parameter_buffer_read(op.offset, op.size)
+        elif code == OP_TEXTURE:
+            memory.texture_batch(op.texture_id, op.texture_size,
+                                 op.u, op.v, op.samples_per_fragment)
+        elif code == OP_FLUSH:
+            memory.framebuffer_flush(op.num_bytes)
         else:  # pragma: no cover - trace is produced in-house
-            raise ValueError(f"unknown memory-trace op {kind!r}")
+            raise ValueError(f"unknown memory-trace op {op!r}")
 
 
 @dataclass
@@ -128,7 +224,7 @@ class TileResult:
     tile: int
     color: np.ndarray
     stats: FrameStats
-    memory_ops: List[Tuple] = field(default_factory=list)
+    memory_ops: List[MemOp] = field(default_factory=MemOps)
     tainted: bool = False
     layer_buffer: Optional[LayerBuffer] = None
     z_buffer: Optional[ZBuffer] = None
@@ -147,6 +243,8 @@ class TileJob:
             order (first list then second — Algorithm 1's order).
         attribute_bytes: Parameter Buffer bytes per primitive record
             (models the pointer-dereference traffic).
+        backend: kernel backend name (``repro.kernels``); execution
+            policy — every backend produces bit-identical results.
     """
 
     tile: int
@@ -156,6 +254,7 @@ class TileJob:
     features: PipelineFeatures
     entries: List[DisplayListEntry]
     attribute_bytes: int
+    backend: str = DEFAULT_BACKEND
 
     # -- geometry helpers ---------------------------------------------------
 
@@ -163,16 +262,9 @@ class TileJob:
         """True for tile pixels that are actually on screen (edge tiles
         of non-divisible resolutions are partial)."""
         config = self.config
-        x0 = self.tile_x * config.tile_width
-        y0 = self.tile_y * config.tile_height
-        mask = np.ones((config.tile_height, config.tile_width), dtype=bool)
-        overflow_x = x0 + config.tile_width - config.screen_width
-        overflow_y = y0 + config.tile_height - config.screen_height
-        if overflow_x > 0:
-            mask[:, config.tile_width - overflow_x:] = False
-        if overflow_y > 0:
-            mask[config.tile_height - overflow_y:, :] = False
-        return mask
+        return valid_mask(self.tile_x, self.tile_y,
+                          config.tile_width, config.tile_height,
+                          config.screen_width, config.screen_height)
 
     # -- execution ----------------------------------------------------------
 
@@ -184,6 +276,7 @@ class TileJob:
         """
         config = self.config
         features = self.features
+        kernels = resolve_backend(self.backend)
         if context is None:
             context = TileContext.for_config(config)
         memory = MemoryTrace()
@@ -195,14 +288,18 @@ class TileJob:
         if features.uses_layers:
             context.layer_buffer.clear()
 
-        x0 = self.tile_x * config.tile_width
-        y0 = self.tile_y * config.tile_height
+        x0, y0 = tile_origin(self.tile_x, self.tile_y,
+                             config.tile_width, config.tile_height)
         valid = self._valid_mask()
+        batch = kernels.prepare_tile(
+            self.entries, x0, y0, config.tile_width, config.tile_height,
+            valid,
+        )
 
         if features.oracle_z:
-            self._oracle_depth_prepass(context, x0, y0, valid)
+            self._oracle_depth_prepass(context, kernels, batch)
         elif features.z_prepass:
-            self._charged_depth_prepass(context, x0, y0, valid, stats)
+            self._charged_depth_prepass(context, kernels, batch, stats)
 
         # Per-pixel count of shaded contributions not yet made useless by
         # an opaque overwrite; feeds the overshading metric of Figure 8.
@@ -214,9 +311,10 @@ class TileJob:
         # signature (see DESIGN.md, "Correctness repair").
         taint = np.zeros((config.tile_height, config.tile_width), dtype=bool)
 
-        for entry in self.entries:
+        for index, entry in enumerate(self.entries):
             contributed = self._render_primitive(
-                context, memory, entry, x0, y0, valid, pending, taint, stats
+                context, memory, kernels, batch, index, entry,
+                pending, taint, stats,
             )
             if features.evr_hardware:
                 # Validate the FVP prediction for this (primitive, tile)
@@ -258,16 +356,15 @@ class TileJob:
         self,
         context: TileContext,
         memory: MemoryTrace,
+        kernels,
+        batch,
+        index: int,
         entry: DisplayListEntry,
-        x0: int,
-        y0: int,
-        valid: np.ndarray,
         pending: np.ndarray,
         taint: np.ndarray,
         stats: FrameStats,
     ) -> bool:
         """Render one display-list entry; True if it contributed color."""
-        config = self.config
         features = self.features
         primitive = entry.primitive
         state = primitive.state
@@ -296,20 +393,17 @@ class TileJob:
         stats.primitives_rasterized += 1
         stats.raster_attributes += primitive.attribute_count
 
-        batch = rasterize_in_tile(
-            primitive, x0, y0, config.tile_width, config.tile_height
-        )
-        if batch is None:
+        frag = batch.fragments(index)
+        if frag is None or frag.count == 0:
             return False
-        mask = batch.mask & valid
-        count = int(np.count_nonzero(mask))
-        if count == 0:
-            return False
+        mask = frag.mask
+        count = frag.count
         stats.fragments_generated += count
 
         resolved_z = features.oracle_z or features.z_prepass
         if state.depth_test:
-            passing = z_buffer.test(mask, batch.depth, less_equal=resolved_z)
+            passing = kernels.depth_test(z_buffer.depth, mask, frag.depth,
+                                         less_equal=resolved_z)
             if features.early_z:
                 # Early Depth Test: occluded fragments never reach the
                 # fragment processors.
@@ -329,7 +423,9 @@ class TileJob:
             return False
 
         if primitive.writes_z:
-            stats.depth_writes += z_buffer.write(passing, batch.depth)
+            stats.depth_writes += kernels.depth_write(
+                z_buffer.depth, passing, frag.depth
+            )
 
         # Fragment shading (cost model + texture traffic).
         stats.fragments_shaded += shaded
@@ -340,8 +436,8 @@ class TileJob:
             memory.texture_batch(
                 shader.texture_id,
                 shader.texture_size,
-                batch.u[shaded_mask],
-                batch.v[shaded_mask],
+                frag.u[shaded_mask],
+                frag.v[shaded_mask],
                 shader.texture_fetches,
             )
 
@@ -352,16 +448,16 @@ class TileJob:
         blend_mode = state.blend
         if blend_mode is BlendMode.OPAQUE:
             opaque_mask = passing
-            color_buffer.write(passing, batch.rgba)
+            kernels.color_write(color_buffer.color, passing, frag.rgba)
         else:
-            opaque_mask = passing & (batch.rgba[:, :, 3] >= _ALPHA_OPAQUE)
-            color_buffer.blend(passing, batch.rgba)
+            opaque_mask = passing & (frag.rgba[:, :, 3] >= _ALPHA_OPAQUE)
+            kernels.color_blend(color_buffer.color, passing, frag.rgba)
         stats.blend_operations += int(np.count_nonzero(passing))
 
-        stats.overdrawn_fragments += int(pending[opaque_mask].sum())
-        pending[opaque_mask] = 1
         translucent_mask = passing & ~opaque_mask
-        pending[translucent_mask] += 1
+        stats.overdrawn_fragments += kernels.overdraw_update(
+            pending, opaque_mask, translucent_mask
+        )
 
         # Misprediction taint.  An *exact* overwrite (the OPAQUE path's
         # buffer write) erases the previous color bit-for-bit, so it may
@@ -372,73 +468,65 @@ class TileJob:
         # (1 - alpha) * dst term that leaks the hidden color at ulp
         # scale whenever interpolated alpha is not exactly 1.
         if blend_mode is BlendMode.OPAQUE:
-            taint[opaque_mask] = entry.predicted_occluded
+            kernels.taint_set(taint, opaque_mask, entry.predicted_occluded)
         elif entry.predicted_occluded:
-            taint[passing] = True
+            kernels.taint_or(taint, passing)
 
         if features.uses_layers and opaque_mask.any():
-            written = context.layer_buffer.write(
-                opaque_mask, entry.layer, primitive.writes_z
+            layer_buffer = context.layer_buffer
+            written = kernels.layer_write(
+                layer_buffer.layers, opaque_mask, entry.layer
             )
+            if primitive.writes_z and written:
+                layer_buffer.zr_register = entry.layer
             stats.layer_buffer_writes += written
         return True
 
     # -- charged Z pre-pass -------------------------------------------------
 
-    def _charged_depth_prepass(self, context: TileContext, x0: int, y0: int,
-                               valid: np.ndarray, stats: FrameStats) -> None:
+    def _charged_depth_prepass(self, context: TileContext, kernels, batch,
+                               stats: FrameStats) -> None:
         """Depth-only first pass over the tile's WOZ geometry, with the
         real costs the paper attributes to software Z-prepass (Section
         IV-A): every primitive is rasterized again, every fragment is
         depth-tested again and the Z-buffer is written — only fragment
         *shading* is saved for the second pass.
         """
-        for entry in self.entries:
+        depth_buffer = context.z_buffer.depth
+        for index, entry in enumerate(self.entries):
             primitive = entry.primitive
             if not (primitive.writes_z and primitive.state.depth_test):
                 continue
             stats.prepass_primitives += 1
-            batch = rasterize_in_tile(
-                primitive, x0, y0,
-                self.config.tile_width, self.config.tile_height,
-            )
-            if batch is None:
+            frag = batch.fragments(index)
+            if frag is None or frag.count == 0:
                 continue
-            mask = batch.mask & valid
-            count = int(np.count_nonzero(mask))
-            if count == 0:
-                continue
-            stats.prepass_fragments += count
-            closer = context.z_buffer.test(mask, batch.depth)
-            stats.prepass_depth_writes += context.z_buffer.write(
-                closer, batch.depth
+            stats.prepass_fragments += frag.count
+            closer = kernels.depth_test(depth_buffer, frag.mask, frag.depth)
+            stats.prepass_depth_writes += kernels.depth_write(
+                depth_buffer, closer, frag.depth
             )
 
     # -- oracle Z pre-pass --------------------------------------------------
 
-    def _oracle_depth_prepass(self, context: TileContext, x0: int, y0: int,
-                              valid: np.ndarray) -> None:
+    def _oracle_depth_prepass(self, context: TileContext, kernels,
+                              batch) -> None:
         """Fill the Z-buffer with the tile's final depths, for free.
 
         Models Figure 8's oracle: perfect visibility information in the
         Z-buffer before the tile executes.  Only WOZ primitives determine
         final depths.
         """
-        for entry in self.entries:
+        depth_buffer = context.z_buffer.depth
+        for index, entry in enumerate(self.entries):
             primitive = entry.primitive
             if not primitive.writes_z:
                 continue
-            batch = rasterize_in_tile(
-                primitive, x0, y0,
-                self.config.tile_width, self.config.tile_height,
-            )
-            if batch is None:
+            frag = batch.fragments(index)
+            if frag is None or frag.count == 0:
                 continue
-            mask = batch.mask & valid
-            if not mask.any():
-                continue
-            closer = context.z_buffer.test(mask, batch.depth)
-            context.z_buffer.write(closer, batch.depth)
+            closer = kernels.depth_test(depth_buffer, frag.mask, frag.depth)
+            kernels.depth_write(depth_buffer, closer, frag.depth)
 
 
 # Worker-side context cache: one set of tile buffers per (geometry, clear)

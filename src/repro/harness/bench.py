@@ -1,0 +1,333 @@
+"""``repro bench``: backend throughput benchmarking and regression gating.
+
+Measures two things per kernel backend, on a preset workload:
+
+1. **End-to-end pipeline throughput** — a full :meth:`GPU.render_stream`
+   run under the paper's EVR configuration, with the observability
+   tracer attached: frames/sec, simulated cache operations/sec and the
+   per-phase wall-time breakdown (geometry/raster/schedule/execute/
+   reduce spans).  This number is dominated by the memory-system
+   *simulation* (an inherently sequential cache model), so backends
+   differ by modest factors here — that is the honest Amdahl story.
+
+2. **Fragment-kernel throughput** — the hot path the backend seam
+   actually abstracts.  The preset's real per-tile display lists are
+   captured from a pipeline run, then replayed through the backend's
+   :func:`prepare_tile`/``fragments`` kernel exactly as
+   :meth:`TileJob.run` drives it under a depth-prepass variant
+   (z-prepass/oracle): fragments are requested once for the depth-only
+   pass and once for shading.  ``fragments_per_second`` counts the
+   fragments delivered across both passes.  This is the ``>= 10x``
+   headline metric for the numpy backend.
+
+The emitted ``BENCH_<preset>.json`` also records the
+``fragments_per_second`` ratio between backends.  Because the ratio
+compares two measurements from the same process on the same machine,
+it is far more stable across hardware than absolute numbers — the CI
+perf-smoke job gates on it via :func:`check_bench_regression`.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..config import GPUConfig
+from ..engine.scheduler import SerialScheduler
+from ..engine.tile_job import TileJob
+from ..errors import ConfigError
+from ..kernels import available_backends, resolve_backend
+from ..kernels.tile_geometry import tile_origin, valid_mask
+from ..obs.profile import phase_breakdown
+from ..obs.trace import ChromeTracer, tracing
+from ..pipeline import GPU, PipelineMode
+from ..scenes import benchmark_stream, scaled_world_stream
+
+
+# ---------------------------------------------------------------------------
+# Presets
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class BenchPreset:
+    """One named bench workload (resolution, frames, geometry load)."""
+
+    name: str
+    description: str
+    width: int
+    height: int
+    frames: int
+    workload: str            # Table III alias, or "scaled" for the
+    num_boxes: int = 0       # scaled-up world scene (num_boxes props)
+
+    def config(self) -> GPUConfig:
+        return GPUConfig(screen_width=self.width,
+                         screen_height=self.height,
+                         frames=self.frames)
+
+    def stream(self):
+        config = self.config()
+        if self.workload == "scaled":
+            return scaled_world_stream(config, num_boxes=self.num_boxes)
+        return benchmark_stream(self.workload, config)
+
+
+BENCH_PRESETS: Dict[str, BenchPreset] = {
+    preset.name: preset
+    for preset in (
+        BenchPreset("tiny", "CI smoke: tib at thumbnail resolution",
+                    width=64, height=48, frames=4, workload="tib"),
+        BenchPreset("default", "tib at the repo's default resolution",
+                    width=192, height=160, frames=10, workload="tib"),
+        BenchPreset("scaled",
+                    "geometry-scaled world scene: deep display lists",
+                    width=192, height=160, frames=10, workload="scaled",
+                    num_boxes=96),
+        BenchPreset("paper", "tib at the paper's 1196x768 over 60 frames",
+                    width=1196, height=768, frames=60, workload="tib"),
+    )
+}
+
+#: Depth-prepass access pattern: one depth-only pass plus one shading
+#: pass per entry, as in TileJob.run with z_prepass/oracle_z.
+SWEEP_PASSES = 2
+
+
+# ---------------------------------------------------------------------------
+# Measurement
+# ---------------------------------------------------------------------------
+
+class _CaptureScheduler(SerialScheduler):
+    """Serial scheduler that also keeps every job it executed."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.jobs: List[TileJob] = []
+
+    def map(self, fn, items):
+        self.jobs.extend(items)
+        return super().map(fn, items)
+
+
+def _cache_ops(run_result) -> int:
+    """Total simulated cache-unit accesses over the run."""
+    total = 0
+    for frame in run_result.frames:
+        for units in (frame.geometry.units, frame.raster.units):
+            for counters in units.values():
+                total += counters.get("accesses", 0)
+    return total
+
+
+def _pipeline_measurement(preset: BenchPreset, backend: str) -> Dict:
+    """One full EVR-mode run: frames/sec, cache ops/sec, phase times."""
+    config = preset.config()
+    capture = _CaptureScheduler()
+    gpu = GPU(config, PipelineMode.EVR, scheduler=capture, backend=backend)
+    tracer = ChromeTracer()
+    start = time.perf_counter()
+    with tracing(tracer):
+        result = gpu.render_stream(preset.stream())
+    elapsed = time.perf_counter() - start
+    stats = result.total_stats(warmup=0)
+    cache_ops = _cache_ops(result)
+    return {
+        "wall_seconds": elapsed,
+        "frames": len(result.frames),
+        "frames_per_second": len(result.frames) / elapsed,
+        "fragments_shaded": stats.fragments_shaded,
+        "cache_ops": cache_ops,
+        "cache_ops_per_second": cache_ops / elapsed,
+        "phases": phase_breakdown(tracer),
+        "raster_phase_ms": _raster_phase_totals(tracer),
+        "_jobs": capture.jobs,
+    }
+
+
+def _raster_phase_totals(tracer: ChromeTracer) -> Dict[str, float]:
+    """Total milliseconds per raster-engine span (schedule/execute/reduce)."""
+    totals: Dict[str, float] = {}
+    for event in tracer.spans(category="raster"):
+        totals[event["name"]] = (totals.get(event["name"], 0.0)
+                                 + event["dur"] / 1e3)
+    return totals
+
+
+def _sweep_once(jobs: Sequence[TileJob], backend: str) -> int:
+    """One full kernel sweep: replay every captured display list through
+    ``backend``'s ``prepare_tile``/``fragments`` exactly as
+    :meth:`TileJob.run` drives it under a depth-prepass variant (each
+    entry's fragments requested ``SWEEP_PASSES`` times)."""
+    kernels = resolve_backend(backend)
+    fragments = 0
+    for job in jobs:
+        config = job.config
+        x0, y0 = tile_origin(job.tile_x, job.tile_y,
+                             config.tile_width, config.tile_height)
+        valid = valid_mask(job.tile_x, job.tile_y,
+                           config.tile_width, config.tile_height,
+                           config.screen_width, config.screen_height)
+        batch = kernels.prepare_tile(
+            job.entries, x0, y0,
+            config.tile_width, config.tile_height, valid,
+        )
+        for _ in range(SWEEP_PASSES):
+            for index in range(len(job.entries)):
+                frag = batch.fragments(index)
+                if frag is not None:
+                    fragments += frag.count
+    return fragments
+
+
+def _kernel_sweeps(jobs: Sequence[TileJob], backends: Sequence[str],
+                   repeat: int) -> Dict[str, Dict]:
+    """Best-of-``repeat`` kernel throughput for every backend.
+
+    The backends are timed *interleaved*, round by round, so each
+    round's measurements are adjacent in time and see the same machine
+    state (CPU-frequency drift over a minutes-long bench otherwise
+    dominates the cross-backend ratio — the number CI gates on).
+    """
+    fragments = 0
+    for backend in backends:           # warm-up (also the fragment count)
+        fragments = _sweep_once(jobs, backend)
+    best = {backend: float("inf") for backend in backends}
+    for _ in range(max(1, repeat)):
+        for backend in backends:
+            start = time.perf_counter()
+            _sweep_once(jobs, backend)
+            best[backend] = min(best[backend],
+                                time.perf_counter() - start)
+    entries = sum(len(job.entries) for job in jobs)
+    return {
+        backend: {
+            "sweep_passes": SWEEP_PASSES,
+            "jobs": len(jobs),
+            "entries": entries,
+            "fragments": fragments,
+            "best_seconds": best[backend],
+            "fragments_per_second": fragments / best[backend],
+        }
+        for backend in backends
+    }
+
+
+def run_bench(preset_name: str,
+              backends: Optional[Sequence[str]] = None,
+              repeat: int = 3) -> Dict:
+    """Run the bench for ``preset_name`` and return the result record."""
+    try:
+        preset = BENCH_PRESETS[preset_name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown bench preset {preset_name!r}; "
+            f"known: {sorted(BENCH_PRESETS)}"
+        ) from None
+    chosen = tuple(backends) if backends else available_backends()
+
+    results: Dict[str, Dict] = {}
+    jobs: Optional[List[TileJob]] = None
+    for backend in chosen:
+        measurement = _pipeline_measurement(preset, backend)
+        captured = measurement.pop("_jobs")
+        if jobs is None:
+            # Display lists are backend-independent (bit-identical
+            # contract); capture once and reuse for every sweep.
+            jobs = captured
+        results[backend] = measurement
+    for backend, sweep in _kernel_sweeps(jobs, chosen, repeat).items():
+        results[backend]["kernel_sweep"] = sweep
+
+    record = {
+        "preset": preset.name,
+        "description": preset.description,
+        "config": {
+            "width": preset.width,
+            "height": preset.height,
+            "frames": preset.frames,
+            "workload": preset.workload,
+            "num_boxes": preset.num_boxes,
+        },
+        "mode": "evr",
+        "python_version": platform.python_version(),
+        "backends": results,
+    }
+    if "python" in results and "numpy" in results:
+        scalar = results["python"]
+        batched = results["numpy"]
+        record["speedup"] = {
+            "fragments_per_second": (
+                batched["kernel_sweep"]["fragments_per_second"]
+                / scalar["kernel_sweep"]["fragments_per_second"]
+            ),
+            "frames_per_second": (
+                batched["frames_per_second"] / scalar["frames_per_second"]
+            ),
+        }
+    return record
+
+
+# ---------------------------------------------------------------------------
+# Output and regression gating
+# ---------------------------------------------------------------------------
+
+def write_bench_json(record: Dict, path: str) -> None:
+    with open(path, "w") as handle:
+        json.dump(record, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def format_bench_summary(record: Dict) -> str:
+    lines = [f"bench preset={record['preset']} mode={record['mode']} "
+             f"({record['config']['width']}x{record['config']['height']}"
+             f" x{record['config']['frames']} frames)"]
+    for backend, result in record["backends"].items():
+        sweep = result["kernel_sweep"]
+        lines.append(
+            f"  {backend:>7}: {sweep['fragments_per_second']:>12,.0f}"
+            f" frags/s (kernel)  "
+            f"{result['frames_per_second']:6.2f} frames/s  "
+            f"{result['cache_ops_per_second']:>11,.0f} cache ops/s"
+        )
+    speedup = record.get("speedup")
+    if speedup:
+        lines.append(
+            f"  numpy/python speedup: "
+            f"{speedup['fragments_per_second']:.2f}x kernel frags/s, "
+            f"{speedup['frames_per_second']:.2f}x frames/s"
+        )
+    return "\n".join(lines)
+
+
+def check_bench_regression(record: Dict, baseline_path: str,
+                           tolerance: float = 0.2) -> List[str]:
+    """Compare a fresh bench against a committed baseline JSON.
+
+    Gates on the backend *speedup ratio* (machine-independent), not on
+    absolute throughput: a regression is the numpy/python
+    ``fragments_per_second`` ratio dropping more than ``tolerance``
+    (fractional) below the baseline's.  Returns failure messages,
+    empty when the bench is clean.
+    """
+    with open(baseline_path) as handle:
+        baseline = json.load(handle)
+    failures: List[str] = []
+    base_speedup = baseline.get("speedup", {}).get("fragments_per_second")
+    new_speedup = record.get("speedup", {}).get("fragments_per_second")
+    if base_speedup is None or new_speedup is None:
+        failures.append(
+            "baseline or current record lacks a numpy/python speedup "
+            "(both backends must be benched to gate)"
+        )
+        return failures
+    floor = base_speedup * (1.0 - tolerance)
+    if new_speedup < floor:
+        failures.append(
+            f"kernel fragments/sec speedup regressed: {new_speedup:.2f}x "
+            f"< {floor:.2f}x (baseline {base_speedup:.2f}x "
+            f"- {tolerance:.0%} tolerance)"
+        )
+    return failures

@@ -3,6 +3,12 @@
 All three hold one entry per pixel of the tile currently being rendered
 and are reset when the raster pipeline moves to the next tile.  They are
 numpy-backed because the rasterizer operates on whole coverage masks.
+
+The per-fragment test/write/blend semantics live in
+:mod:`repro.kernels.reference` (the scalar kernel backend) — the methods
+here delegate to those pure functions, so the buffer classes stay the
+stateful wrappers while every backend shares one definition of the
+rules.
 """
 
 from __future__ import annotations
@@ -10,6 +16,8 @@ from __future__ import annotations
 from typing import Tuple
 
 import numpy as np
+
+from ..kernels import reference as _kernels
 
 
 class ZBuffer:
@@ -42,17 +50,12 @@ class ZBuffer:
         Z-prepass pre-fills the buffer with *final* depths, so it tests
         with ``less_equal=True`` to let the visible fragment itself pass.
         """
-        passing = mask.copy()
-        if less_equal:
-            passing[mask] = fragment_depth[mask] <= self.depth[mask]
-        else:
-            passing[mask] = fragment_depth[mask] < self.depth[mask]
-        return passing
+        return _kernels.depth_test(self.depth, mask, fragment_depth,
+                                   less_equal=less_equal)
 
     def write(self, mask: np.ndarray, fragment_depth: np.ndarray) -> int:
         """Store depths for the masked fragments; returns the write count."""
-        self.depth[mask] = fragment_depth[mask]
-        return int(np.count_nonzero(mask))
+        return _kernels.depth_write(self.depth, mask, fragment_depth)
 
     @property
     def z_far(self) -> float:
@@ -78,17 +81,11 @@ class ColorBuffer:
 
     def write(self, mask: np.ndarray, rgba: np.ndarray) -> int:
         """Opaque write: replace destination color under ``mask``."""
-        self.color[mask] = rgba[mask]
-        return int(np.count_nonzero(mask))
+        return _kernels.color_write(self.color, mask, rgba)
 
     def blend(self, mask: np.ndarray, rgba: np.ndarray) -> int:
         """Standard alpha blending: ``src*a + dst*(1-a)`` under ``mask``."""
-        alpha = rgba[mask][:, 3:4]
-        destination = self.color[mask]
-        blended = rgba[mask] * alpha + destination * (1.0 - alpha)
-        blended[:, 3] = np.maximum(destination[:, 3], rgba[mask][:, 3])
-        self.color[mask] = blended
-        return int(np.count_nonzero(mask))
+        return _kernels.color_blend(self.color, mask, rgba)
 
     def snapshot(self) -> np.ndarray:
         """A copy of the tile's colors (for flushing / comparisons)."""
@@ -129,10 +126,10 @@ class LayerBuffer:
 
     def write(self, mask: np.ndarray, layer: int, is_woz: bool) -> int:
         """Record ``layer`` for the masked (visible, opaque) fragments."""
-        self.layers[mask] = layer
-        if is_woz and mask.any():
+        written = _kernels.layer_write(self.layers, mask, layer)
+        if is_woz and written:
             self.zr_register = layer
-        return int(np.count_nonzero(mask))
+        return written
 
     @property
     def l_far(self) -> int:

@@ -1,0 +1,85 @@
+"""The single definition of tile geometry shared by every backend.
+
+Tile-shaped index math used to be duplicated across the pipeline: the
+raster reduction computed screen index arrays in
+``RasterPipeline._tile_region``, tile jobs rebuilt the on-screen validity
+mask in ``TileJob._valid_mask``, and the rasterizer derived pixel-center
+grids on its own.  All three now come from here, so the scalar and
+batched kernel backends (and the framebuffer reduction) agree on tile
+bounds by construction.
+
+Every helper is a pure function of the tile coordinates and the
+configured tile/screen sizes; results are memoized and returned as
+read-only arrays, so callers may hold them across frames but must copy
+before mutating.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Tuple
+
+import numpy as np
+
+
+def tile_origin(tile_x: int, tile_y: int,
+                tile_width: int, tile_height: int) -> Tuple[int, int]:
+    """Top-left screen pixel ``(x0, y0)`` of the tile."""
+    return tile_x * tile_width, tile_y * tile_height
+
+
+def tile_bounds(tile_x: int, tile_y: int, tile_width: int, tile_height: int,
+                screen_width: int, screen_height: int
+                ) -> Tuple[int, int, int, int]:
+    """On-screen pixel bounds ``(x0, y0, x1, y1)`` of the tile (exclusive
+    end; edge tiles of non-divisible resolutions are clipped)."""
+    x0, y0 = tile_origin(tile_x, tile_y, tile_width, tile_height)
+    x1 = min(x0 + tile_width, screen_width)
+    y1 = min(y0 + tile_height, screen_height)
+    return x0, y0, x1, y1
+
+
+@lru_cache(maxsize=None)
+def tile_region(tile_x: int, tile_y: int, tile_width: int, tile_height: int,
+                screen_width: int, screen_height: int
+                ) -> Tuple[np.ndarray, np.ndarray]:
+    """Broadcastable ``(rows, cols)`` index arrays selecting the tile's
+    on-screen pixels in a full-screen image."""
+    x0, y0, x1, y1 = tile_bounds(tile_x, tile_y, tile_width, tile_height,
+                                 screen_width, screen_height)
+    rows = np.arange(y0, y1)[:, None]
+    cols = np.arange(x0, x1)[None, :]
+    rows.setflags(write=False)
+    cols.setflags(write=False)
+    return rows, cols
+
+
+@lru_cache(maxsize=None)
+def valid_mask(tile_x: int, tile_y: int, tile_width: int, tile_height: int,
+               screen_width: int, screen_height: int) -> np.ndarray:
+    """Tile-shaped boolean mask of pixels that are actually on screen."""
+    x0, y0 = tile_origin(tile_x, tile_y, tile_width, tile_height)
+    mask = np.ones((tile_height, tile_width), dtype=bool)
+    overflow_x = x0 + tile_width - screen_width
+    overflow_y = y0 + tile_height - screen_height
+    if overflow_x > 0:
+        mask[:, tile_width - overflow_x:] = False
+    if overflow_y > 0:
+        mask[tile_height - overflow_y:, :] = False
+    mask.setflags(write=False)
+    return mask
+
+
+@lru_cache(maxsize=None)
+def pixel_centers(x0: int, y0: int, tile_width: int, tile_height: int
+                  ) -> Tuple[np.ndarray, np.ndarray]:
+    """1-D pixel-center coordinate vectors ``(px, py)`` for the tile.
+
+    Centers sit at ``+ 0.5`` — the sampling points of the edge functions
+    and of barycentric interpolation in both backends.
+    """
+    px = x0 + np.arange(tile_width, dtype=np.float64) + 0.5
+    py = y0 + np.arange(tile_height, dtype=np.float64) + 0.5
+    px.setflags(write=False)
+    py.setflags(write=False)
+    return px, py

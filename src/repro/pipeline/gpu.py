@@ -25,6 +25,7 @@ from ..engine.scheduler import Scheduler
 from ..errors import PipelineError
 from ..hw.lgt import LayerGeneratorTable
 from ..hw.parameter_buffer import ParameterBuffer
+from ..kernels import normalize_backend
 from ..memsys import MemorySystem
 from ..obs.trace import get_tracer
 from ..timing import CostModel, CostParameters, FrameStats, StatsAccumulator
@@ -191,12 +192,14 @@ class GPU:
         cost_params: CostParameters = CostParameters(),
         energy_params: EnergyParameters = EnergyParameters(),
         scheduler: Optional[Scheduler] = None,
+        backend: Optional[str] = None,
     ):
         if isinstance(features, PipelineMode):
             features = features.features()
         self.config = config
         self.features = features
         self.scheduler = scheduler
+        self.backend = normalize_backend(backend)
         self.memory = MemorySystem(config)
         self.parameter_buffer = ParameterBuffer(config.num_tiles)
         self.lgt = LayerGeneratorTable(config.num_tiles) if features.uses_layers else None
@@ -233,6 +236,7 @@ class GPU:
             config, features, self.memory, self.parameter_buffer,
             self.predictor, self.re, self.comparator,
             scheduler=scheduler,
+            backend=self.backend,
         )
         self._previous_image: Optional[np.ndarray] = None
         self._rendering = False
@@ -253,7 +257,9 @@ class GPU:
         overrides ``spec.gpu`` for callers that sweep resolutions or
         frame counts around a fixed spec.  The spec is duck-typed so
         this module never imports :mod:`repro.spec` (which imports the
-        feature definitions from this package).
+        feature definitions from this package).  The kernel backend
+        rides in ``spec.scheduler.backend`` (execution policy, outside
+        the spec hash — backends are bit-identical).
         """
         if isinstance(mode, PipelineMode):
             mode = mode.features()
@@ -263,6 +269,7 @@ class GPU:
             cost_params=spec.cost,
             energy_params=spec.energy,
             scheduler=scheduler,
+            backend=getattr(spec.scheduler, "backend", None),
         )
 
     def render_stream(self, stream: FrameStream) -> RunResult:

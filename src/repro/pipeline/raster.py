@@ -38,6 +38,8 @@ from ..engine.tile_job import (
     replay_memory_trace,
 )
 from ..hw.parameter_buffer import ParameterBuffer
+from ..kernels import DEFAULT_BACKEND, normalize_backend
+from ..kernels.tile_geometry import tile_region
 from ..memsys import MemorySystem
 from ..obs.trace import get_tracer
 from ..timing import FrameStats
@@ -57,6 +59,7 @@ class RasterPipeline:
         rendering_elimination: Optional[RenderingElimination],
         comparator: Optional[OracleTileComparator],
         scheduler: Optional[Scheduler] = None,
+        backend: str = DEFAULT_BACKEND,
     ):
         self.config = config
         self.features = features
@@ -66,6 +69,7 @@ class RasterPipeline:
         self.re = rendering_elimination
         self.comparator = comparator
         self.scheduler: Scheduler = scheduler or SerialScheduler()
+        self.backend = normalize_backend(backend)
 
     def render_frame(
         self,
@@ -105,6 +109,7 @@ class RasterPipeline:
                         attribute_bytes=(
                             self.parameter_buffer.attribute_bytes_per_primitive
                         ),
+                        backend=self.backend,
                     ))
 
         with tracer.span("execute", category="raster", tiles=len(jobs)):
@@ -180,12 +185,9 @@ class RasterPipeline:
     # -- helpers ---------------------------------------------------------------------
 
     def _tile_region(self, tile_x: int, tile_y: int):
-        """Index arrays selecting the tile's on-screen pixels."""
+        """Index arrays selecting the tile's on-screen pixels (shared
+        tile-geometry definition; see :mod:`repro.kernels.tile_geometry`)."""
         config = self.config
-        y0 = tile_y * config.tile_height
-        x0 = tile_x * config.tile_width
-        y1 = min(y0 + config.tile_height, config.screen_height)
-        x1 = min(x0 + config.tile_width, config.screen_width)
-        rows = np.arange(y0, y1)[:, None]
-        cols = np.arange(x0, x1)[None, :]
-        return rows, cols
+        return tile_region(tile_x, tile_y,
+                           config.tile_width, config.tile_height,
+                           config.screen_width, config.screen_height)

@@ -1,136 +1,20 @@
-"""Tile-scoped triangle rasterization with edge functions.
+"""Tile-scoped triangle rasterization — compatibility re-export.
 
-The rasterizer discretizes one screen-space triangle over one tile's pixel
-grid: coverage comes from three edge functions evaluated at pixel centers
-(with the top-left fill rule, so triangles sharing an edge never double-
-cover a pixel), and depth/color/uv are interpolated barycentrically.
-
-Interpolation is affine (screen-space barycentric) rather than
-perspective-correct; depth interpolation in screen space is exact, and the
-cost model only needs attribute *counts*, so this simplification does not
-affect any reproduced result.
+The scalar rasterizer moved to :mod:`repro.kernels.reference` when the
+kernel backend seam was introduced (it *is* the reference backend's
+coverage/interpolation kernel); this module remains so historical
+imports keep working.  New code should go through
+:func:`repro.kernels.resolve_backend` instead of calling the scalar
+functions directly.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+from ..kernels.reference import (
+    FragmentBatch,
+    _edge,
+    _is_top_left,
+    rasterize_in_tile,
+)
 
-import numpy as np
-
-from ..geom import ScreenTriangle
-
-
-@dataclass
-class FragmentBatch:
-    """All fragments a triangle produced inside one tile.
-
-    Arrays are tile-shaped ``(tile_height, tile_width)``; ``mask`` selects
-    the covered pixels and the other arrays are only meaningful there.
-    """
-
-    mask: np.ndarray        # bool     — coverage
-    depth: np.ndarray       # float64  — interpolated window-space depth
-    rgba: np.ndarray        # float64  — (h, w, 4) interpolated color
-    u: np.ndarray           # float64  — texture coordinate
-    v: np.ndarray           # float64  — texture coordinate
-
-    @property
-    def fragment_count(self) -> int:
-        return int(np.count_nonzero(self.mask))
-
-
-def _edge(ax: float, ay: float, bx: float, by: float,
-          px: np.ndarray, py: np.ndarray) -> np.ndarray:
-    """Edge function cross(b - a, p - a): positive on the interior side
-    for a triangle with positive signed area and edges taken in order."""
-    return (bx - ax) * (py - ay) - (by - ay) * (px - ax)
-
-
-def _is_top_left(ax: float, ay: float, bx: float, by: float) -> bool:
-    """Top-left fill rule for edge a->b of a clockwise (y-down) triangle."""
-    return (ay == by and bx < ax) or (by < ay)
-
-
-def rasterize_in_tile(
-    triangle: ScreenTriangle,
-    tile_x0: int,
-    tile_y0: int,
-    tile_width: int,
-    tile_height: int,
-) -> Optional[FragmentBatch]:
-    """Rasterize ``triangle`` restricted to one tile.
-
-    Args:
-        triangle: screen-space triangle.
-        tile_x0: left pixel column of the tile.
-        tile_y0: top pixel row of the tile.
-        tile_width: tile width in pixels.
-        tile_height: tile height in pixels.
-
-    Returns:
-        A :class:`FragmentBatch`, or None when no pixel center is covered
-        (bounding-box binning is conservative, so this is common).
-    """
-    (v0, v1, v2) = triangle.xy
-    area = triangle.signed_area()
-    if area == 0.0:
-        return None
-    if area < 0.0:
-        # Normalize winding so all edge functions are positive inside.
-        v1, v2 = v2, v1
-        area = -area
-
-    px = tile_x0 + np.arange(tile_width, dtype=np.float64) + 0.5
-    py = tile_y0 + np.arange(tile_height, dtype=np.float64) + 0.5
-    grid_x, grid_y = np.meshgrid(px, py)
-
-    w0 = _edge(v1.x, v1.y, v2.x, v2.y, grid_x, grid_y)
-    w1 = _edge(v2.x, v2.y, v0.x, v0.y, grid_x, grid_y)
-    w2 = _edge(v0.x, v0.y, v1.x, v1.y, grid_x, grid_y)
-
-    mask = np.ones((tile_height, tile_width), dtype=bool)
-    for weights, (ax, ay, bx, by) in (
-        (w0, (v1.x, v1.y, v2.x, v2.y)),
-        (w1, (v2.x, v2.y, v0.x, v0.y)),
-        (w2, (v0.x, v0.y, v1.x, v1.y)),
-    ):
-        if _is_top_left(ax, ay, bx, by):
-            mask &= weights >= 0.0
-        else:
-            mask &= weights > 0.0
-
-    if not mask.any():
-        return None
-
-    inv_area = 1.0 / area
-    b0 = w0 * inv_area
-    b1 = w1 * inv_area
-    b2 = w2 * inv_area
-
-    # Attribute order must follow the (possibly swapped) vertex order.
-    if triangle.signed_area() < 0.0:
-        z0, z1, z2 = triangle.z[0], triangle.z[2], triangle.z[1]
-        a0, a1, a2 = (
-            triangle.attributes[0],
-            triangle.attributes[2],
-            triangle.attributes[1],
-        )
-    else:
-        z0, z1, z2 = triangle.z
-        a0, a1, a2 = triangle.attributes
-
-    depth = b0 * z0 + b1 * z1 + b2 * z2
-
-    rgba = np.empty((tile_height, tile_width, 4), dtype=np.float64)
-    for channel, getter in enumerate(("x", "y", "z", "w")):
-        rgba[:, :, channel] = (
-            b0 * getattr(a0.color, getter)
-            + b1 * getattr(a1.color, getter)
-            + b2 * getattr(a2.color, getter)
-        )
-
-    u = b0 * a0.uv.x + b1 * a1.uv.x + b2 * a2.uv.x
-    v = b0 * a0.uv.y + b1 * a1.uv.y + b2 * a2.uv.y
-
-    return FragmentBatch(mask=mask, depth=depth, rgba=rgba, u=u, v=v)
+__all__ = ["FragmentBatch", "rasterize_in_tile", "_edge", "_is_top_left"]

@@ -27,6 +27,7 @@ from .benchmarks import (
     benchmark_info,
     benchmark_names,
     benchmark_stream,
+    scaled_world_stream,
 )
 
 __all__ = [
@@ -47,4 +48,5 @@ __all__ = [
     "benchmark_names",
     "benchmark_info",
     "benchmark_stream",
+    "scaled_world_stream",
 ]

@@ -584,3 +584,22 @@ def benchmark_stream(
     info = benchmark_info(alias)
     scene = info.builder(config)
     return scene.stream(frames if frames is not None else config.frames)
+
+
+def scaled_world_stream(
+    config: GPUConfig,
+    num_boxes: int = 42,
+    frames: Optional[int] = None,
+) -> FrameStream:
+    """A geometry-scaled world scene for throughput benchmarking.
+
+    The ``tib`` layout with the prop count scaled up, so display lists
+    are deep enough to exercise batched rasterization (``repro bench``'s
+    ``scaled`` preset).  Not part of the Table III suite.
+    """
+    scene = _world_scene(
+        config, seed=105, num_boxes=num_boxes, moving_fraction=0.3,
+        orbit_period=0.0, hud_coverage=0.2, translucent_count=2,
+        hidden_movers=2,
+    )
+    return scene.stream(frames if frames is not None else config.frames)

@@ -60,6 +60,7 @@ from typing import (
     Union,
 )
 
+from . import kernels as _kernels
 from .config import GPUConfig
 from .energy import EnergyParameters
 from .errors import ConfigError, SpecError
@@ -73,6 +74,7 @@ from .timing import CostParameters
 #: the dotted spec path they set.
 ENV_VARS: Dict[str, str] = {
     "REPRO_JOBS": "scheduler.jobs",
+    "REPRO_BACKEND": "scheduler.backend",
     "REPRO_FAULTS": "resilience.inject_faults",
 }
 
@@ -170,14 +172,29 @@ class FeatureOverrides:
 
 @dataclass(frozen=True)
 class SchedulerSpec:
-    """Worker fan-out: ``--jobs`` / ``REPRO_JOBS``.
+    """Execution policy: ``--jobs`` / ``REPRO_JOBS`` and ``--backend`` /
+    ``REPRO_BACKEND``.
 
-    1 (the default) is serial, N >= 2 a process pool of N workers,
-    negative one worker per CPU core — :func:`repro.engine.make_scheduler`
-    semantics.
+    ``jobs``: 1 (the default) is serial, N >= 2 a process pool of N
+    workers, negative one worker per CPU core —
+    :func:`repro.engine.make_scheduler` semantics.
+
+    ``backend`` selects the kernel implementation for the fragment hot
+    path (:mod:`repro.kernels`).  Backends are bit-identical by
+    contract, which is why this section sits outside the spec hash:
+    results computed with either backend share cache entries.
     """
 
     jobs: int = 1
+    backend: str = _kernels.DEFAULT_BACKEND
+
+    def __post_init__(self) -> None:
+        try:
+            normalized = _kernels.normalize_backend(self.backend)
+        except ValueError as error:
+            raise SpecError(str(error)) from None
+        if normalized != self.backend:
+            object.__setattr__(self, "backend", normalized)
 
 
 @dataclass(frozen=True)
@@ -723,6 +740,19 @@ def _env_layers(env: Mapping[str, str]
         else:
             layers.append(("env:REPRO_JOBS",
                            {"scheduler": {"jobs": jobs}}))
+    backend_text = env.get("REPRO_BACKEND", "")
+    if backend_text:
+        try:
+            backend = _kernels.normalize_backend(backend_text)
+        except ValueError as error:
+            warn_once(
+                "spec", f"REPRO_BACKEND={backend_text}",
+                f"ignoring malformed REPRO_BACKEND={backend_text!r} "
+                f"({error}); using the default backend",
+            )
+        else:
+            layers.append(("env:REPRO_BACKEND",
+                           {"scheduler": {"backend": backend}}))
     faults_text = env.get("REPRO_FAULTS", "")
     if faults_text:
         try:
@@ -749,7 +779,8 @@ def resolve_spec(
     """Resolve the spec layers into one validated :class:`RunSpec`.
 
     Precedence (later wins): built-in defaults -> ``preset`` -> spec
-    ``file`` -> environment (``REPRO_JOBS``, ``REPRO_FAULTS``) -> ``cli``
+    ``file`` -> environment (``REPRO_JOBS``, ``REPRO_BACKEND``,
+    ``REPRO_FAULTS``) -> ``cli``
     overlay -> dotted-path ``sets`` overrides.  Every leaf remembers the
     layer that supplied it (:meth:`ResolvedSpec.source_of`).
     """
@@ -813,6 +844,7 @@ def cli_layer_from_args(args: Any) -> Dict[str, Any]:
     put("workload", "modes", getattr(args, "modes", None))
 
     put("scheduler", "jobs", getattr(args, "jobs", None))
+    put("scheduler", "backend", getattr(args, "backend", None))
 
     put("resilience", "retries", getattr(args, "retries", None))
     put("resilience", "job_timeout", getattr(args, "job_timeout", None))

@@ -1,0 +1,110 @@
+"""Tests for the ``repro bench`` harness (``repro.harness.bench``)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.harness.bench import (
+    BENCH_PRESETS,
+    check_bench_regression,
+    format_bench_summary,
+    run_bench,
+    write_bench_json,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_record():
+    """One real bench run on the tiny preset, both backends, shared by
+    the tests below (a run takes a few seconds)."""
+    return run_bench("tiny", backends=("numpy", "python"), repeat=1)
+
+
+class TestPresets:
+    def test_known_presets(self):
+        assert {"tiny", "default", "scaled", "paper"} <= set(BENCH_PRESETS)
+
+    def test_unknown_preset_raises(self):
+        with pytest.raises(ConfigError, match="unknown bench preset"):
+            run_bench("nonexistent")
+
+    def test_preset_configs_resolve(self):
+        for preset in BENCH_PRESETS.values():
+            config = preset.config()
+            assert config.screen_width == preset.width
+            assert config.frames == preset.frames
+
+
+class TestRunBench:
+    def test_record_shape(self, tiny_record):
+        assert tiny_record["preset"] == "tiny"
+        assert set(tiny_record["backends"]) == {"numpy", "python"}
+        for result in tiny_record["backends"].values():
+            assert result["frames"] == BENCH_PRESETS["tiny"].frames
+            assert result["frames_per_second"] > 0
+            assert result["cache_ops"] > 0
+            sweep = result["kernel_sweep"]
+            assert sweep["fragments"] > 0
+            assert sweep["fragments_per_second"] > 0
+            assert sweep["sweep_passes"] == 2
+
+    def test_backends_sweep_same_workload(self, tiny_record):
+        sweeps = [result["kernel_sweep"]
+                  for result in tiny_record["backends"].values()]
+        # Bit-identity: both backends must deliver the same fragments
+        # over the same captured display lists.
+        assert sweeps[0]["fragments"] == sweeps[1]["fragments"]
+        assert sweeps[0]["entries"] == sweeps[1]["entries"]
+
+    def test_speedup_present_and_positive(self, tiny_record):
+        speedup = tiny_record["speedup"]
+        assert speedup["fragments_per_second"] > 0
+        assert speedup["frames_per_second"] > 0
+
+    def test_summary_mentions_backends(self, tiny_record):
+        text = format_bench_summary(tiny_record)
+        assert "numpy" in text
+        assert "python" in text
+        assert "speedup" in text
+
+    def test_json_roundtrip(self, tiny_record, tmp_path):
+        path = tmp_path / "BENCH_tiny.json"
+        write_bench_json(tiny_record, str(path))
+        restored = json.loads(path.read_text())
+        assert restored["preset"] == "tiny"
+        assert restored["speedup"]["fragments_per_second"] == pytest.approx(
+            tiny_record["speedup"]["fragments_per_second"])
+
+
+class TestRegressionGate:
+    def _record(self, speedup):
+        return {"speedup": {"fragments_per_second": speedup}}
+
+    def _baseline(self, tmp_path, speedup):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps(self._record(speedup)))
+        return str(path)
+
+    def test_clean_when_within_tolerance(self, tmp_path):
+        baseline = self._baseline(tmp_path, 10.0)
+        assert check_bench_regression(self._record(9.0), baseline,
+                                      tolerance=0.2) == []
+        # Improvements are always clean.
+        assert check_bench_regression(self._record(14.0), baseline,
+                                      tolerance=0.2) == []
+
+    def test_fails_below_tolerance_floor(self, tmp_path):
+        baseline = self._baseline(tmp_path, 10.0)
+        failures = check_bench_regression(self._record(7.9), baseline,
+                                          tolerance=0.2)
+        assert len(failures) == 1
+        assert "regressed" in failures[0]
+
+    def test_missing_speedup_is_a_failure(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps({"speedup": {}}))
+        failures = check_bench_regression(self._record(10.0), str(baseline))
+        assert failures
