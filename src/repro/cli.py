@@ -187,8 +187,8 @@ def _add_jobs_argument(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--backend", default=None, choices=available_backends(),
-        help="kernel backend for the fragment hot path "
-             "(default: $REPRO_BACKEND or "
+        help="backend for the fragment hot path and the memory-system "
+             "trace replay (default: $REPRO_BACKEND or "
              f"{DEFAULT_BACKEND}; backends are bit-identical, "
              "so results and cache entries are shared)",
     )

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import copy
 from dataclasses import dataclass, field
-from typing import List, NamedTuple, Optional, Sequence, Tuple
+from typing import List, Optional
 
 import numpy as np
 
@@ -41,98 +41,23 @@ from ..timing.stats import FrameStats
 
 _ALPHA_OPAQUE = 1.0 - 1e-9
 
-# Memory-trace opcodes: small ints dispatch faster than strings and pack
-# to one byte each on the wire (see MemOps).
-OP_PB_READ = 0
-OP_TEXTURE = 1
-OP_FLUSH = 2
-
-
-class PBReadOp(NamedTuple):
-    """Parameter Buffer read (display-list pointer or attribute fetch)."""
-
-    offset: int
-    size: int
-
-
-class TextureOp(NamedTuple):
-    """One batched texture-sampling burst for a shaded fragment set."""
-
-    texture_id: int
-    texture_size: int
-    u: np.ndarray
-    v: np.ndarray
-    samples_per_fragment: int
-
-
-class FlushOp(NamedTuple):
-    """End-of-tile color flush to DRAM."""
-
-    num_bytes: int
-
-
-PBReadOp.code = OP_PB_READ
-TextureOp.code = OP_TEXTURE
-FlushOp.code = OP_FLUSH
-
-#: Any recorded memory-trace operation.
-MemOp = Tuple  # typing alias: PBReadOp | TextureOp | FlushOp
-
-
-def _pack_memory_ops(ops: "MemOps") -> Tuple[bytes, Tuple, Tuple]:
-    """Compact wire form: one code byte per op, all int operands in one
-    flat tuple, texture coordinate arrays kept as-is."""
-    codes = bytearray()
-    ints: List[int] = []
-    arrays: List[np.ndarray] = []
-    for op in ops:
-        code = op.code
-        codes.append(code)
-        if code == OP_TEXTURE:
-            ints.extend((op.texture_id, op.texture_size,
-                         op.samples_per_fragment))
-            arrays.append(op.u)
-            arrays.append(op.v)
-        else:
-            ints.extend(op)
-    return bytes(codes), tuple(ints), tuple(arrays)
-
-
-def _unpack_memory_ops(codes: bytes, ints: Tuple, arrays: Tuple) -> "MemOps":
-    """Inverse of :func:`_pack_memory_ops` (the pickle reconstructor)."""
-    ops = MemOps()
-    cursor = 0
-    array_cursor = 0
-    for code in codes:
-        if code == OP_PB_READ:
-            ops.append(PBReadOp(ints[cursor], ints[cursor + 1]))
-            cursor += 2
-        elif code == OP_TEXTURE:
-            ops.append(TextureOp(
-                ints[cursor], ints[cursor + 1],
-                arrays[array_cursor], arrays[array_cursor + 1],
-                ints[cursor + 2],
-            ))
-            cursor += 3
-            array_cursor += 2
-        else:
-            ops.append(FlushOp(ints[cursor]))
-            cursor += 1
-    return ops
-
-
-class MemOps(list):
-    """An op list that pickles in packed form.
-
-    Tile results cross process boundaries under the pool scheduler, so
-    the trace's wire size matters.  Packing (code bytes + one int tuple)
-    undercuts both the historical raw-tuple encoding and naive
-    NamedTuple pickling; ``tests/test_memtrace_ops.py`` pins the "never
-    larger than the raw tuples" property.
-    """
-
-    def __reduce__(self):
-        return (_unpack_memory_ops, _pack_memory_ops(self))
+# The memory-trace op types moved to repro.memsys.ops (so the batched
+# memory system can consume traces without an engine<->memsys layering
+# cycle); re-exported here because they are part of this module's
+# historical public surface.
+from ..memsys.ops import (  # noqa: E402  (re-export)
+    OP_FLUSH,
+    OP_PB_READ,
+    OP_TEXTURE,
+    FlushOp,
+    MemOp,
+    MemOps,
+    PBReadOp,
+    TextureOp,
+    _pack_memory_ops,
+    _unpack_memory_ops,
+    replay_memory_trace,
+)
 
 
 class MemoryTrace:
@@ -158,26 +83,6 @@ class MemoryTrace:
 
     def framebuffer_flush(self, num_bytes: int) -> None:
         self.ops.append(FlushOp(num_bytes))
-
-
-def replay_memory_trace(ops: Sequence[MemOp], memory) -> None:
-    """Replay a job's recorded accesses into the real memory system.
-
-    Called by the engine in tile order, preserving the access sequence the
-    historical inline loop produced — cache hit/miss behaviour and DRAM
-    cycle totals are therefore identical whichever scheduler ran the job.
-    """
-    for op in ops:
-        code = op.code
-        if code == OP_PB_READ:
-            memory.parameter_buffer_read(op.offset, op.size)
-        elif code == OP_TEXTURE:
-            memory.texture_batch(op.texture_id, op.texture_size,
-                                 op.u, op.v, op.samples_per_fragment)
-        elif code == OP_FLUSH:
-            memory.framebuffer_flush(op.num_bytes)
-        else:  # pragma: no cover - trace is produced in-house
-            raise ValueError(f"unknown memory-trace op {op!r}")
 
 
 @dataclass

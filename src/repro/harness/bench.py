@@ -30,10 +30,13 @@ perf-smoke job gates on it via :func:`check_bench_regression`.
 from __future__ import annotations
 
 import json
+import os
 import platform
 import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
+
+import numpy as np
 
 from ..config import GPUConfig
 from ..engine.scheduler import SerialScheduler
@@ -41,6 +44,19 @@ from ..engine.tile_job import TileJob
 from ..errors import ConfigError
 from ..kernels import available_backends, resolve_backend
 from ..kernels.tile_geometry import tile_origin, valid_mask
+from ..memsys import MemorySystem, create_memory_system
+from ..memsys.ops import (
+    EndFrameOp,
+    FBLoadOp,
+    FlushOp,
+    MemOps,
+    PBReadOp,
+    PBWriteOp,
+    TextureOp,
+    VertexOp,
+    VertexRangeOp,
+    replay_memory_trace,
+)
 from ..obs.profile import phase_breakdown
 from ..obs.trace import ChromeTracer, tracing
 from ..pipeline import GPU, PipelineMode
@@ -112,6 +128,85 @@ class _CaptureScheduler(SerialScheduler):
         return super().map(fn, items)
 
 
+class _TraceRecorder(MemorySystem):
+    """A scalar memory system that also records its op stream.
+
+    Captures the run's complete memory traffic — geometry-side vertex
+    and Parameter Buffer writes as well as the replayed raster tile
+    traces — as one flat :class:`MemOps` list for the memsys replay
+    sweep.  Frame boundaries are recorded (``end_frame`` traffic is part
+    of replay cost); stat resets are not, so replaying the trace once
+    yields lifetime counters both implementations must agree on.
+    """
+
+    def __init__(self, config: GPUConfig):
+        super().__init__(config)
+        self.ops = MemOps()
+        self._in_range = False
+
+    def fetch_vertex(self, vertex_index, vertex_bytes=48):
+        # The scalar range loop re-enters here per vertex; the range op
+        # already covers those, so don't record them twice.
+        if not self._in_range:
+            self.ops.append(VertexOp(vertex_index, vertex_bytes))
+        super().fetch_vertex(vertex_index, vertex_bytes)
+
+    def fetch_vertex_range(self, start, count, vertex_bytes=48):
+        self.ops.append(VertexRangeOp(start, count, vertex_bytes))
+        self._in_range = True
+        try:
+            super().fetch_vertex_range(start, count, vertex_bytes)
+        finally:
+            self._in_range = False
+
+    def parameter_buffer_write(self, offset, size):
+        self.ops.append(PBWriteOp(offset, size))
+        super().parameter_buffer_write(offset, size)
+
+    def parameter_buffer_read(self, offset, size):
+        self.ops.append(PBReadOp(offset, size))
+        super().parameter_buffer_read(offset, size)
+
+    def texture_batch(self, texture_id, texture_size, u, v,
+                      samples_per_fragment=1, bilinear=True):
+        if u.size and samples_per_fragment > 0 and bilinear:
+            self.ops.append(TextureOp(texture_id, texture_size, u, v,
+                                      samples_per_fragment))
+        super().texture_batch(texture_id, texture_size, u, v,
+                              samples_per_fragment, bilinear)
+
+    def framebuffer_flush(self, num_bytes):
+        self.ops.append(FlushOp(num_bytes))
+        super().framebuffer_flush(num_bytes)
+
+    def framebuffer_load(self, num_bytes):
+        self.ops.append(FBLoadOp(num_bytes))
+        super().framebuffer_load(num_bytes)
+
+    def end_frame(self):
+        self.ops.append(EndFrameOp())
+        super().end_frame()
+
+
+def machine_info() -> Dict[str, object]:
+    """The hardware/runtime facts a bench number is meaningless without."""
+    cpu_model = platform.processor() or platform.machine()
+    try:
+        with open("/proc/cpuinfo") as handle:
+            for line in handle:
+                if line.lower().startswith("model name"):
+                    cpu_model = line.split(":", 1)[1].strip()
+                    break
+    except OSError:
+        pass
+    return {
+        "python_version": platform.python_version(),
+        "numpy_version": np.__version__,
+        "cpu_model": cpu_model,
+        "cpu_count": os.cpu_count(),
+    }
+
+
 def _cache_ops(run_result) -> int:
     """Total simulated cache-unit accesses over the run."""
     total = 0
@@ -122,11 +217,20 @@ def _cache_ops(run_result) -> int:
     return total
 
 
-def _pipeline_measurement(preset: BenchPreset, backend: str) -> Dict:
-    """One full EVR-mode run: frames/sec, cache ops/sec, phase times."""
+def _pipeline_measurement(preset: BenchPreset, backend: str,
+                          record_trace: bool = False) -> Dict:
+    """One full EVR-mode run: frames/sec, cache ops/sec, phase times.
+
+    With ``record_trace`` the run's memory system is a scalar
+    :class:`_TraceRecorder` and the measurement carries the captured op
+    stream under ``"_trace"`` (recording is per-op list appends — noise
+    next to the scalar model it rides on).
+    """
     config = preset.config()
     capture = _CaptureScheduler()
-    gpu = GPU(config, PipelineMode.EVR, scheduler=capture, backend=backend)
+    recorder = _TraceRecorder(config) if record_trace else None
+    gpu = GPU(config, PipelineMode.EVR, scheduler=capture, backend=backend,
+              memory_system=recorder)
     tracer = ChromeTracer()
     start = time.perf_counter()
     with tracing(tracer):
@@ -134,7 +238,7 @@ def _pipeline_measurement(preset: BenchPreset, backend: str) -> Dict:
     elapsed = time.perf_counter() - start
     stats = result.total_stats(warmup=0)
     cache_ops = _cache_ops(result)
-    return {
+    measurement = {
         "wall_seconds": elapsed,
         "frames": len(result.frames),
         "frames_per_second": len(result.frames) / elapsed,
@@ -145,6 +249,9 @@ def _pipeline_measurement(preset: BenchPreset, backend: str) -> Dict:
         "raster_phase_ms": _raster_phase_totals(tracer),
         "_jobs": capture.jobs,
     }
+    if recorder is not None:
+        measurement["_trace"] = recorder.ops
+    return measurement
 
 
 def _raster_phase_totals(tracer: ChromeTracer) -> Dict[str, float]:
@@ -215,6 +322,64 @@ def _kernel_sweeps(jobs: Sequence[TileJob], backends: Sequence[str],
     }
 
 
+def _memsys_replay_once(ops: MemOps, config: GPUConfig,
+                        backend: str) -> Dict[str, object]:
+    """Replay the recorded trace through a fresh ``backend`` memory
+    system; returns the elapsed seconds and the final snapshot."""
+    memory = create_memory_system(config, backend)
+    start = time.perf_counter()
+    replay_memory_trace(ops, memory)
+    memory.drain()
+    elapsed = time.perf_counter() - start
+    return {"seconds": elapsed, "snapshot": memory.snapshot(),
+            "dram_cycles": memory.dram.cycles()}
+
+
+def _memsys_sweeps(ops: MemOps, config: GPUConfig,
+                   backends: Sequence[str], repeat: int) -> Dict[str, Dict]:
+    """Best-of-``repeat`` memory-trace replay throughput per backend.
+
+    The memory-system analogue of :func:`_kernel_sweeps`: the same
+    recorded op stream replays through every implementation,
+    interleaved round by round for ratio stability.  The warm-up round
+    doubles as the bit-identity check — every backend must produce the
+    scalar reference's exact counters and DRAM cycle count, so a bench
+    can never report a speedup for a model that diverged.
+    """
+    reference: Optional[Dict[str, object]] = None
+    cache_ops = 0
+    for backend in backends:           # warm-up + bit-identity check
+        outcome = _memsys_replay_once(ops, config, backend)
+        if reference is None:
+            reference = outcome
+            cache_ops = sum(
+                counters.get("accesses", 0)
+                for counters in outcome["snapshot"].values()
+            )
+        elif (outcome["snapshot"] != reference["snapshot"]
+                or outcome["dram_cycles"] != reference["dram_cycles"]):
+            raise AssertionError(
+                f"memsys backend {backend!r} diverged from "
+                f"{backends[0]!r} on the replayed trace"
+            )
+    best = {backend: float("inf") for backend in backends}
+    for _ in range(max(1, repeat)):
+        for backend in backends:
+            best[backend] = min(
+                best[backend],
+                _memsys_replay_once(ops, config, backend)["seconds"],
+            )
+    return {
+        backend: {
+            "trace_ops": len(ops),
+            "cache_ops": cache_ops,
+            "best_seconds": best[backend],
+            "cache_ops_per_second": cache_ops / best[backend],
+        }
+        for backend in backends
+    }
+
+
 def run_bench(preset_name: str,
               backends: Optional[Sequence[str]] = None,
               repeat: int = 3) -> Dict:
@@ -230,16 +395,28 @@ def run_bench(preset_name: str,
 
     results: Dict[str, Dict] = {}
     jobs: Optional[List[TileJob]] = None
+    trace: Optional[MemOps] = None
     for backend in chosen:
-        measurement = _pipeline_measurement(preset, backend)
+        # The scalar run doubles as the trace recorder: traffic is
+        # backend-independent (bit-identical contract), so one captured
+        # stream feeds every memsys sweep.
+        record_trace = backend == "python"
+        measurement = _pipeline_measurement(preset, backend,
+                                            record_trace=record_trace)
         captured = measurement.pop("_jobs")
         if jobs is None:
             # Display lists are backend-independent (bit-identical
             # contract); capture once and reuse for every sweep.
             jobs = captured
+        if record_trace:
+            trace = measurement.pop("_trace")
         results[backend] = measurement
     for backend, sweep in _kernel_sweeps(jobs, chosen, repeat).items():
         results[backend]["kernel_sweep"] = sweep
+    if trace is not None:
+        sweeps = _memsys_sweeps(trace, preset.config(), chosen, repeat)
+        for backend, sweep in sweeps.items():
+            results[backend]["memsys_sweep"] = sweep
 
     record = {
         "preset": preset.name,
@@ -253,6 +430,7 @@ def run_bench(preset_name: str,
         },
         "mode": "evr",
         "python_version": platform.python_version(),
+        "machine": machine_info(),
         "backends": results,
     }
     if "python" in results and "numpy" in results:
@@ -267,6 +445,11 @@ def run_bench(preset_name: str,
                 batched["frames_per_second"] / scalar["frames_per_second"]
             ),
         }
+        if "memsys_sweep" in scalar and "memsys_sweep" in batched:
+            record["speedup"]["cache_ops_per_second"] = (
+                batched["memsys_sweep"]["cache_ops_per_second"]
+                / scalar["memsys_sweep"]["cache_ops_per_second"]
+            )
     return record
 
 
@@ -286,19 +469,28 @@ def format_bench_summary(record: Dict) -> str:
              f" x{record['config']['frames']} frames)"]
     for backend, result in record["backends"].items():
         sweep = result["kernel_sweep"]
-        lines.append(
+        line = (
             f"  {backend:>7}: {sweep['fragments_per_second']:>12,.0f}"
             f" frags/s (kernel)  "
             f"{result['frames_per_second']:6.2f} frames/s  "
             f"{result['cache_ops_per_second']:>11,.0f} cache ops/s"
         )
+        memsys = result.get("memsys_sweep")
+        if memsys:
+            line += (f"  {memsys['cache_ops_per_second']:>11,.0f}"
+                     f" replay ops/s")
+        lines.append(line)
     speedup = record.get("speedup")
     if speedup:
-        lines.append(
+        line = (
             f"  numpy/python speedup: "
             f"{speedup['fragments_per_second']:.2f}x kernel frags/s, "
             f"{speedup['frames_per_second']:.2f}x frames/s"
         )
+        if "cache_ops_per_second" in speedup:
+            line += (f", {speedup['cache_ops_per_second']:.2f}x "
+                     f"memsys replay")
+        lines.append(line)
     return "\n".join(lines)
 
 
@@ -306,28 +498,42 @@ def check_bench_regression(record: Dict, baseline_path: str,
                            tolerance: float = 0.2) -> List[str]:
     """Compare a fresh bench against a committed baseline JSON.
 
-    Gates on the backend *speedup ratio* (machine-independent), not on
+    Gates on the backend *speedup ratios* (machine-independent), not on
     absolute throughput: a regression is the numpy/python
-    ``fragments_per_second`` ratio dropping more than ``tolerance``
+    ``fragments_per_second`` (kernel sweep) or ``cache_ops_per_second``
+    (memsys replay sweep) ratio dropping more than ``tolerance``
     (fractional) below the baseline's.  Returns failure messages,
     empty when the bench is clean.
     """
     with open(baseline_path) as handle:
         baseline = json.load(handle)
     failures: List[str] = []
-    base_speedup = baseline.get("speedup", {}).get("fragments_per_second")
-    new_speedup = record.get("speedup", {}).get("fragments_per_second")
-    if base_speedup is None or new_speedup is None:
+    base = baseline.get("speedup", {})
+    new = record.get("speedup", {})
+    if base.get("fragments_per_second") is None \
+            or new.get("fragments_per_second") is None:
         failures.append(
             "baseline or current record lacks a numpy/python speedup "
             "(both backends must be benched to gate)"
         )
         return failures
-    floor = base_speedup * (1.0 - tolerance)
-    if new_speedup < floor:
-        failures.append(
-            f"kernel fragments/sec speedup regressed: {new_speedup:.2f}x "
-            f"< {floor:.2f}x (baseline {base_speedup:.2f}x "
-            f"- {tolerance:.0%} tolerance)"
-        )
+    gated = [("fragments_per_second", "kernel fragments/sec")]
+    if base.get("cache_ops_per_second") is not None:
+        gated.append(("cache_ops_per_second", "memsys replay ops/sec"))
+    for key, label in gated:
+        base_speedup = base[key]
+        new_speedup = new.get(key)
+        if new_speedup is None:
+            failures.append(
+                f"current record lacks the {label} speedup the baseline "
+                f"gates on"
+            )
+            continue
+        floor = base_speedup * (1.0 - tolerance)
+        if new_speedup < floor:
+            failures.append(
+                f"{label} speedup regressed: {new_speedup:.2f}x "
+                f"< {floor:.2f}x (baseline {base_speedup:.2f}x "
+                f"- {tolerance:.0%} tolerance)"
+            )
     return failures

@@ -1,0 +1,830 @@
+"""Batched memory-system model: bit-identical to the scalar reference.
+
+This is the ``numpy`` backend of the memory-system seam.  The scalar
+:class:`~repro.memsys.MemorySystem` walks every cache line through an
+``OrderedDict`` per access; this implementation consumes whole *phases*
+of recorded traffic as structure-of-arrays and replays them through an
+array-based exact-LRU model:
+
+* **Deferred drain** — the public API (``fetch_vertex``,
+  ``parameter_buffer_read`` …) only queues typed ops
+  (:mod:`repro.memsys.ops`).  The queue is drained — expanded, grouped
+  and simulated — the first time counters are observed (``snapshot`` /
+  ``instrumentation`` / a counter property) and at frame boundaries.
+  The pipeline reads counters only at phase boundaries, so a whole
+  phase's traffic is one batch.
+
+* **SoA expansion** — queued ops are expanded into flat request arrays
+  (address, size, write, stream base) in exact scalar call order;
+  requests expand into per-line accesses with closed-form arithmetic.
+  A draw command's vertex fetches and a texture batch's unique lines
+  never touch Python loops.
+
+* **Exact LRU without per-line walks** — per set, LRU has the stack
+  property: the resident lines are exactly the ``ways`` most recently
+  used distinct lines, so a reference hits iff fewer than ``ways``
+  distinct lines intervened since its last access (its reuse distance).
+  Two consequences drive the layout: an immediate re-reference to the
+  set's MRU line is an unconditional hit (such runs are collapsed out
+  of the stream up front and counted as hits wholesale), and the state
+  a set needs is just its recency-ordered tag/dirty matrix.  The
+  collapsed per-set streams are then stepped *rank by rank*: iteration
+  ``r`` applies the ``r``-th surviving access of every set at once as a
+  vectorized update of the ``(num_sets, ways)`` tag/dirty/recency
+  matrices — the Python loop runs over within-set ranks (tens per
+  phase), not over millions of lines.  All first-level caches share one
+  lane space so their sets advance in the same iterations.
+
+* **Closed-form L2 refill stream** — the scalar model forwards each
+  first-level miss/writeback to L2 at a round-robin cursor address.
+  The cursor sequence is arithmetic, so a batch of per-request
+  miss/writeback counts expands to the exact L2 address stream in one
+  shot; the same lane simulation then runs once for L2, and the DRAM
+  model receives the summed line traffic (its counters are additive,
+  so totals are order-independent).
+
+Counters, snapshots, DRAM cycle estimates and ``end_frame`` flush
+behaviour match the scalar model bit for bit; the cross-backend fuzz
+suite (``tests/test_memsys_batched.py``) enforces it on random traces.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from ..config import CacheConfig, GPUConfig
+from ..errors import MemoryModelError
+from .dram import DRAMChannelModel
+from .hierarchy import (
+    _PARAMETER_BASE,
+    _TEXEL_BYTES,
+    _TEXTURE_BASE,
+    _VERTEX_BASE,
+    MemorySystem,
+)
+from .ops import (
+    OP_END_FRAME,
+    OP_FB_LOAD,
+    OP_FLUSH,
+    OP_PB_READ,
+    OP_PB_WRITE,
+    OP_RESET_STATS,
+    OP_TEXTURE,
+    OP_VERTEX,
+    OP_VERTEX_RANGE,
+    EndFrameOp,
+    FBLoadOp,
+    FlushOp,
+    MemOps,
+    PBReadOp,
+    PBWriteOp,
+    ResetStatsOp,
+    TextureOp,
+    VertexOp,
+    VertexRangeOp,
+)
+
+#: First-level cache slots (index into the unified lane space).
+_VERTEX, _TILE, _TEX0 = 0, 1, 2
+_NUM_L1 = 6  # vertex, tile, texture0..3
+
+# Simple-request kinds in the flat scan buffer.
+_K_VRANGE, _K_PBR, _K_PBW = 0, 1, 2
+
+_L2_WINDOW = 1 << 20
+
+#: Rank stepping stays vectorized while this many lanes are active;
+#: below it, straggler lanes finish in the exact scalar tail loop.
+_TAIL_LANES = 24
+
+
+class _LaneLRU:
+    """Exact LRU state for a group of cache sets ("lanes").
+
+    ``tags``/``dirty`` are ``(lanes, max_ways)`` matrices whose columns
+    are recency-ordered (column 0 = MRU); ``ways[lane]`` bounds the live
+    columns for lanes belonging to caches with lower associativity.
+    """
+
+    def __init__(self, ways_per_lane: np.ndarray):
+        self.ways = ways_per_lane.astype(np.int64)
+        self.num_lanes = int(ways_per_lane.size)
+        self.max_ways = int(ways_per_lane.max()) if ways_per_lane.size else 1
+        # One matrix carries both tag and dirty bit per way
+        # (``tag << 1 | dirty``, -1 = empty): the rank loop then costs a
+        # single gather/scatter per iteration instead of two.
+        self.state = np.full((self.num_lanes, self.max_ways), -1, np.int64)
+
+    @property
+    def tags(self) -> np.ndarray:
+        # -1 >> 1 == -1 under arithmetic shift, so empties stay -1.
+        return self.state >> 1
+
+    @property
+    def dirty(self) -> np.ndarray:
+        return (self.state >= 0) & ((self.state & 1) == 1)
+
+    def flush_lanes(self, start: int, stop: int) -> int:
+        """Invalidate lanes [start, stop); return dirty lines evicted."""
+        block = self.state[start:stop]
+        dirty = int(((block >= 0) & ((block & 1) == 1)).sum())
+        block[:] = -1
+        return dirty
+
+    def simulate(self, lane_idx: np.ndarray, tags: np.ndarray,
+                 writes: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Run a stream of line accesses (in order) through exact LRU.
+
+        Returns ``(hit, writeback)`` bool arrays aligned with the input
+        stream; the lane state is updated in place.
+        """
+        n = lane_idx.size
+        hit_out = np.zeros(n, bool)
+        wb_out = np.zeros(n, bool)
+        if n == 0:
+            return hit_out, wb_out
+
+        order = np.argsort(lane_idx, kind="stable")
+        s_lane = lane_idx[order]
+        s_tag = tags[order]
+        s_wr = writes[order]
+
+        # Collapse within-lane runs of the same tag: a re-reference to
+        # the lane's MRU line is a guaranteed hit (reuse distance 0) and
+        # leaves the recency order unchanged; only the OR of the run's
+        # write flags matters for the dirty bit.
+        dup = np.zeros(n, bool)
+        if n > 1:
+            dup[1:] = (s_lane[1:] == s_lane[:-1]) & (s_tag[1:] == s_tag[:-1])
+        hit_out[order[dup]] = True
+        starts = np.flatnonzero(~dup)
+        c_lane = s_lane[starts]
+        c_tag = s_tag[starts]
+        c_wr = np.maximum.reduceat(s_wr, starts)
+        c_pos = order[starts]
+
+        counts = np.bincount(c_lane, minlength=self.num_lanes)
+        lane_start = np.concatenate(([0], np.cumsum(counts)[:-1]))
+        # The collapsed stream is lane-major (stable sort), so lane L's
+        # accesses occupy [lane_start[L], lane_start[L] + counts[L]).
+        # Ordering lanes by how many accesses they carry makes every
+        # rank's active set a *prefix* of one precomputed permutation —
+        # no per-rank scan for active lanes.
+        lane_order = np.argsort(-counts, kind="stable")
+        ls_sorted = lane_start[lane_order]
+        wl_sorted = self.ways[lane_order]
+        active_n = counts.size - np.cumsum(np.bincount(counts))
+        state = self.state
+        max_count = int(counts.max())
+        # Rank stepping amortizes beautifully while many lanes are
+        # active, but a skewed batch leaves a long tail of ranks with a
+        # handful of straggler lanes — there the fixed cost of the array
+        # ops per rank dwarfs the work.  Vectorize while at least
+        # _TAIL_LANES lanes participate; hand the stragglers' remaining
+        # accesses to an exact per-lane scalar loop.
+        if counts.size > _TAIL_LANES:
+            vec_ranks = int(np.partition(counts, -_TAIL_LANES)[-_TAIL_LANES])
+        else:
+            vec_ranks = max_count
+        col1 = np.arange(1, self.max_ways)[None, :]
+        arows = np.arange(int(active_n[0]) if max_count else 0)
+        for rank in range(min(vec_ranks, max_count)):
+            num_active = int(active_n[rank])
+            lanes_a = lane_order[:num_active]
+            pos = ls_sorted[:num_active] + rank
+            t = c_tag[pos]
+            wr = c_wr[pos]
+            rows = state[lanes_a]
+            wl = wl_sorted[:num_active]
+            match = (rows >> 1) == t[:, None]
+            hit = match.any(axis=1)
+            way = np.where(hit, match.argmax(axis=1), wl - 1)
+            # One gather serves both cases: the hit way's state (for its
+            # dirty bit) or, on a miss, the victim way's state.
+            chosen = rows[arows[:num_active], way]
+            evict = ~hit & (chosen != -1)
+            wb = evict & ((chosen & 1) == 1)
+            # Insert at MRU (column 0), shifting columns 1..way right.
+            shift = col1 <= way[:, None]
+            new = np.empty_like(rows)
+            new[:, 0] = np.where(hit, chosen | wr, (t << 1) | wr)
+            new[:, 1:] = np.where(shift, rows[:, :-1], rows[:, 1:])
+            state[lanes_a] = new
+            opos = c_pos[pos]
+            hit_out[opos] = hit
+            wb_out[opos] = wb
+
+        if vec_ranks < max_count:
+            for lane in np.flatnonzero(counts > vec_ranks):
+                self._simulate_tail(int(lane), c_tag, c_wr, c_pos,
+                                    int(lane_start[lane]) + vec_ranks,
+                                    int(lane_start[lane] + counts[lane]),
+                                    hit_out, wb_out)
+        return hit_out, wb_out
+
+    def _simulate_tail(self, lane: int, c_tag, c_wr, c_pos,
+                       lo: int, hi: int, hit_out, wb_out) -> None:
+        """Scalar LRU for one straggler lane's remaining accesses.
+
+        Operates on Python lists (MRU first, no padding) extracted from
+        the lane's matrix row — the same state machine the vectorized
+        rank step implements, just one access at a time.
+        """
+        ways = int(self.ways[lane])
+        row = [s for s in self.state[lane].tolist() if s != -1]
+        row_t = [s >> 1 for s in row]
+        row_d = [bool(s & 1) for s in row]
+        tags = c_tag[lo:hi].tolist()
+        writes = c_wr[lo:hi].tolist()
+        positions = c_pos[lo:hi].tolist()
+        for tag, write, pos in zip(tags, writes, positions):
+            try:
+                way = row_t.index(tag)
+            except ValueError:
+                if len(row_t) >= ways:
+                    row_t.pop()
+                    if row_d.pop():
+                        wb_out[pos] = True
+                row_t.insert(0, tag)
+                row_d.insert(0, bool(write))
+            else:
+                hit_out[pos] = True
+                row_t.insert(0, row_t.pop(way))
+                row_d.insert(0, row_d.pop(way) or bool(write))
+        packed = [(t << 1) | d for t, d in zip(row_t, row_d)]
+        self.state[lane] = packed + [-1] * (self.max_ways - len(packed))
+
+
+class BatchedCache:
+    """Counter façade over a slice of the batched lane state.
+
+    Mirrors the scalar :class:`~repro.memsys.Cache` surface (counters,
+    ``snapshot``, ``flush``, ``reset_stats``, ``hit_rate``); reading any
+    counter first drains the owning memory system so deferred traffic
+    is never observable.
+    """
+
+    def __init__(self, config: CacheConfig, owner: "BatchedMemorySystem",
+                 lru: _LaneLRU, lane_offset: int):
+        self.config = config
+        self._owner = owner
+        self._lru = lru
+        self._lane_offset = lane_offset
+        self._num_sets = config.num_sets
+        self._line_bytes = config.line_bytes
+        self._accesses = 0
+        self._line_accesses = 0
+        self._hits = 0
+        self._misses = 0
+        self._writebacks = 0
+
+    @property
+    def name(self) -> str:
+        return self.config.name
+
+    @property
+    def accesses(self) -> int:
+        self._owner._drain()
+        return self._accesses
+
+    @property
+    def line_accesses(self) -> int:
+        self._owner._drain()
+        return self._line_accesses
+
+    @property
+    def hits(self) -> int:
+        self._owner._drain()
+        return self._hits
+
+    @property
+    def misses(self) -> int:
+        self._owner._drain()
+        return self._misses
+
+    @property
+    def writebacks(self) -> int:
+        self._owner._drain()
+        return self._writebacks
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self._misses
+        return self._hits / total if total else 0.0
+
+    def flush(self) -> int:
+        """Write back and invalidate everything; returns dirty lines."""
+        self._owner._drain()
+        dirty = self._lru.flush_lanes(self._lane_offset,
+                                      self._lane_offset + self._num_sets)
+        self._writebacks += dirty
+        return dirty
+
+    def reset_stats(self) -> None:
+        self._owner._drain()
+        self._zero()
+
+    def _zero(self) -> None:
+        self._accesses = 0
+        self._line_accesses = 0
+        self._hits = 0
+        self._misses = 0
+        self._writebacks = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        self._owner._drain()
+        return {
+            "accesses": self._accesses,
+            "hits": self._hits,
+            "misses": self._misses,
+            "writebacks": self._writebacks,
+        }
+
+
+def _exclusive_cumsum(counts: np.ndarray) -> np.ndarray:
+    out = np.empty(counts.size + 1, np.int64)
+    out[0] = 0
+    np.cumsum(counts, out=out[1:])
+    return out
+
+
+def _segment_expand(reps: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Expand per-row repeat counts into (row_of_item, rank_in_row)."""
+    offsets = _exclusive_cumsum(reps)
+    total = int(offsets[-1])
+    row = np.repeat(np.arange(reps.size), reps)
+    rank = np.arange(total) - offsets[row]
+    return row, rank
+
+
+class BatchedMemorySystem:
+    """Drop-in :class:`~repro.memsys.MemorySystem` with deferred,
+    vectorized trace consumption.  Public surface and observable
+    behaviour are bit-identical; only the execution strategy differs,
+    which is why backend selection is execution policy
+    (``scheduler.backend``) and not part of the spec hash."""
+
+    def __init__(self, config: GPUConfig):
+        self.config = config
+        l1_configs = [config.cache("vertex"), config.cache("tile")] + [
+            config.cache(f"texture{i}") for i in range(4)
+        ]
+        ways = np.concatenate([
+            np.full(c.num_sets, c.associativity, np.int64)
+            for c in l1_configs
+        ])
+        self._l1 = _LaneLRU(ways)
+        offsets = np.concatenate(
+            ([0], np.cumsum([c.num_sets for c in l1_configs])[:-1])
+        ).astype(np.int64)
+        self._lane_offset = offsets          # by cache slot
+        self._num_sets = np.array([c.num_sets for c in l1_configs],
+                                  np.int64)
+        self._line_bytes = np.array([c.line_bytes for c in l1_configs],
+                                    np.int64)
+        caches = [
+            BatchedCache(c, self, self._l1, int(offsets[slot]))
+            for slot, c in enumerate(l1_configs)
+        ]
+        self.vertex_cache = caches[_VERTEX]
+        self.tile_cache = caches[_TILE]
+        self.texture_caches = caches[_TEX0:]
+        self._l1_caches = caches
+
+        l2_config = config.cache("l2")
+        self._l2_lru = _LaneLRU(
+            np.full(l2_config.num_sets, l2_config.associativity, np.int64)
+        )
+        self.l2 = BatchedCache(l2_config, self, self._l2_lru, 0)
+
+        self.dram = DRAMChannelModel(config)
+        self._line = 64
+        self._l2_cursor: Dict[int, int] = {}
+        self._pending: List = []
+        self._nonbilinear: Set[int] = set()
+
+    # Scalar per-op helper, shared for API parity (the drain vectorizes
+    # the same arithmetic across ops in _expand_textures).
+    _select_mip_level = staticmethod(MemorySystem._select_mip_level)
+
+    # -- public API: queue ops, validate eagerly -----------------------------
+
+    def fetch_vertex(self, vertex_index: int, vertex_bytes: int = 48) -> None:
+        """Geometry pipeline fetches one vertex's data from memory."""
+        if vertex_bytes <= 0:
+            raise MemoryModelError(
+                f"cache vertex: access size {vertex_bytes} <= 0")
+        if _VERTEX_BASE + vertex_index * vertex_bytes < 0:
+            raise MemoryModelError("cache vertex: negative address")
+        self._pending.append(VertexOp(vertex_index, vertex_bytes))
+
+    def fetch_vertex_range(self, start: int, count: int,
+                           vertex_bytes: int = 48) -> None:
+        """Fetch ``count`` consecutive vertices starting at ``start``."""
+        if count < 0:
+            raise MemoryModelError("vertex range with negative count")
+        if count == 0:
+            return
+        if vertex_bytes <= 0:
+            raise MemoryModelError(
+                f"cache vertex: access size {vertex_bytes} <= 0")
+        if _VERTEX_BASE + start * vertex_bytes < 0:
+            raise MemoryModelError("cache vertex: negative address")
+        self._pending.append(VertexRangeOp(start, count, vertex_bytes))
+
+    def parameter_buffer_write(self, offset: int, size: int) -> None:
+        """Polygon List Builder stores primitive attributes / pointers."""
+        if size <= 0:
+            raise MemoryModelError(f"cache tile: access size {size} <= 0")
+        if _PARAMETER_BASE + offset < 0:
+            raise MemoryModelError("cache tile: negative address")
+        self._pending.append(PBWriteOp(offset, size))
+
+    def parameter_buffer_read(self, offset: int, size: int) -> None:
+        """Raster pipeline dereferences Display List pointers."""
+        if size <= 0:
+            raise MemoryModelError(f"cache tile: access size {size} <= 0")
+        if _PARAMETER_BASE + offset < 0:
+            raise MemoryModelError("cache tile: negative address")
+        self._pending.append(PBReadOp(offset, size))
+
+    def texture_batch(
+        self,
+        texture_id: int,
+        texture_size: int,
+        u: np.ndarray,
+        v: np.ndarray,
+        samples_per_fragment: int = 1,
+        bilinear: bool = True,
+    ) -> None:
+        """Sample a (mipmapped) texture for a batch of fragments."""
+        if u.size == 0 or samples_per_fragment <= 0:
+            return
+        if not bilinear:
+            self._nonbilinear.add(len(self._pending))
+        self._pending.append(TextureOp(texture_id, texture_size, u, v,
+                                       samples_per_fragment))
+
+    def framebuffer_flush(self, num_bytes: int) -> None:
+        """End-of-tile Color Buffer flush to main memory (write-only).
+
+        Applied eagerly (after draining what came before): callers may
+        read ``dram.stats`` directly, and the DRAM model has no deferred
+        façade.  Replayed traces keep their ``FlushOp``s deferred — the
+        drain scan applies them in order.
+        """
+        if num_bytes <= 0:
+            raise MemoryModelError("framebuffer flush of non-positive size")
+        self._drain()
+        self.dram.write(num_bytes)
+
+    def framebuffer_load(self, num_bytes: int) -> None:
+        """Preload of a tile's previous color contents (eager, like
+        :meth:`framebuffer_flush`)."""
+        if num_bytes <= 0:
+            raise MemoryModelError("framebuffer load of non-positive size")
+        self._drain()
+        self.dram.read(num_bytes)
+
+    def replay_ops(self, ops) -> None:
+        """Consume a recorded trace wholesale (the replay fast path).
+
+        Unlike the one-call-per-op public methods, validation of a
+        replayed trace happens at drain time; traces recorded by the
+        pipeline are well-formed by construction.
+        """
+        self._pending.extend(ops)
+
+    # -- frame lifecycle -----------------------------------------------------
+
+    def end_frame(self) -> None:
+        """Frame boundary: retire the Parameter Buffer (deferred)."""
+        self._pending.append(EndFrameOp())
+
+    def reset_stats(self) -> None:
+        self._pending.append(ResetStatsOp())
+
+    # -- draining ------------------------------------------------------------
+
+    def drain(self) -> None:
+        """Apply all deferred traffic now (phase-accounting hook)."""
+        self._drain()
+
+    def _drain(self) -> None:
+        pending = self._pending
+        if not pending:
+            return
+        self._pending = []
+        nonbilinear = self._nonbilinear
+        self._nonbilinear = set()
+
+        # One tight pass buckets ops; markers cut the stream into
+        # batches so frame/phase boundaries land exactly where the
+        # scalar model would put them.  Dispatch is ordered by op
+        # frequency and operands are read positionally — at trace scale
+        # the per-op constant is the scan's whole cost.
+        simple: List[int] = []   # flat (op_idx, kind, f0, f1, f2) rows
+        textures: List[Tuple[int, TextureOp, bool]] = []
+        dram = self.dram
+        for idx, op in enumerate(pending):
+            code = op.code
+            if code == OP_PB_READ:
+                simple.extend((idx, _K_PBR, op[0], op[1], 0))
+            elif code == OP_PB_WRITE:
+                simple.extend((idx, _K_PBW, op[0], op[1], 0))
+            elif code == OP_TEXTURE:
+                textures.append((idx, op, idx not in nonbilinear))
+            elif code == OP_VERTEX:
+                simple.extend((idx, _K_VRANGE, op[0], 1, op[1]))
+            elif code == OP_VERTEX_RANGE:
+                simple.extend((idx, _K_VRANGE, op[0], op[1], op[2]))
+            elif code == OP_FLUSH:
+                if op.num_bytes <= 0:
+                    raise MemoryModelError(
+                        "framebuffer flush of non-positive size")
+                dram.write(op.num_bytes)
+            elif code == OP_FB_LOAD:
+                if op.num_bytes <= 0:
+                    raise MemoryModelError(
+                        "framebuffer load of non-positive size")
+                dram.read(op.num_bytes)
+            elif code == OP_END_FRAME:
+                self._apply_batch(simple, textures)
+                simple = []
+                textures = []
+                dirty = self.tile_cache.flush()
+                dram.write_lines(dirty, self._line)
+            elif code == OP_RESET_STATS:
+                self._apply_batch(simple, textures)
+                simple = []
+                textures = []
+                for cache in self._l1_caches:
+                    cache._zero()
+                self.l2._zero()
+                dram.reset_stats()
+            else:  # pragma: no cover - traces are produced in-house
+                raise MemoryModelError(f"unknown memory-trace op {op!r}")
+        self._apply_batch(simple, textures)
+
+    # -- the vectorized core -------------------------------------------------
+
+    def _apply_batch(self, simple: List[int],
+                     textures: List[Tuple[int, TextureOp, bool]]) -> None:
+        """Expand one marker-free batch of ops and simulate it."""
+        if not simple and not textures:
+            return
+
+        # -- B1: simple requests (vertex stream + Parameter Buffer) ---------
+        req_parts = []
+        if simple:
+            rows = np.array(simple, np.int64).reshape(-1, 5)
+            op_idx, kind, f0, f1, f2 = rows.T
+            reps = np.where(kind == _K_VRANGE, f1, 1)
+            row, rank = _segment_expand(reps)
+            r_kind = kind[row]
+            is_v = r_kind == _K_VRANGE
+            addr = np.where(
+                is_v,
+                _VERTEX_BASE + (f0[row] + rank) * f2[row],
+                _PARAMETER_BASE + f0[row],
+            )
+            size = np.where(is_v, f2[row], f1[row])
+            if np.any(size <= 0) or np.any(addr < 0):
+                raise MemoryModelError(
+                    "replayed trace contains an invalid access "
+                    "(non-positive size or negative address)")
+            slot = np.where(is_v, _VERTEX, _TILE)
+            base = np.where(is_v, _VERTEX_BASE, _PARAMETER_BASE)
+            write = r_kind == _K_PBW
+            req_parts.append((op_idx[row], rank, slot, base, addr, size,
+                              write, np.zeros(row.size, np.int64)))
+
+        # -- B2: texture batches --------------------------------------------
+        if textures:
+            req_parts.append(self._expand_textures(textures))
+
+        parts = list(zip(*req_parts))
+        req_op = np.concatenate(parts[0])
+        req_rank = np.concatenate(parts[1])
+        req_slot = np.concatenate(parts[2])
+        req_base = np.concatenate(parts[3])
+        req_addr = np.concatenate(parts[4])
+        req_size = np.concatenate(parts[5])
+        req_write = np.concatenate(parts[6])
+        req_extra = np.concatenate(parts[7])
+
+        # -- B3: global scalar call order -----------------------------------
+        order = np.argsort((req_op << 32) | req_rank, kind="stable")
+        req_slot = req_slot[order]
+        req_base = req_base[order]
+        req_addr = req_addr[order]
+        req_size = req_size[order]
+        req_write = req_write[order]
+        req_extra = req_extra[order]
+        num_req = req_addr.size
+
+        # -- B4: per-line expansion -----------------------------------------
+        lb = self._line_bytes[req_slot]
+        first = req_addr // lb
+        last = (req_addr + req_size - 1) // lb
+        nlines = last - first + 1
+        line_req, line_rank = _segment_expand(nlines)
+        line_idx = first[line_req] + line_rank
+        line_slot = req_slot[line_req]
+        line_write = req_write[line_req]
+
+        # -- B5: first-level LRU over the unified lane space ----------------
+        sets = self._num_sets[line_slot]
+        lane = self._lane_offset[line_slot] + line_idx % sets
+        tag = line_idx // sets
+        hit, wb = self._l1.simulate(lane, tag, line_write)
+
+        # -- B6: counters ----------------------------------------------------
+        req_per_slot = np.bincount(req_slot, minlength=_NUM_L1)
+        extra_per_slot = np.bincount(req_slot, weights=req_extra,
+                                     minlength=_NUM_L1).astype(np.int64)
+        line_per_slot = np.bincount(line_slot, minlength=_NUM_L1)
+        hit_per_slot = np.bincount(line_slot[hit], minlength=_NUM_L1)
+        wb_per_slot = np.bincount(line_slot[wb], minlength=_NUM_L1)
+        for slot, cache in enumerate(self._l1_caches):
+            extra = int(extra_per_slot[slot])
+            cache._accesses += int(req_per_slot[slot]) + extra
+            cache._line_accesses += int(line_per_slot[slot]) + extra
+            hits = int(hit_per_slot[slot])
+            cache._hits += hits + extra
+            cache._misses += int(line_per_slot[slot]) - hits
+            cache._writebacks += int(wb_per_slot[slot])
+
+        # -- B7: the L2 refill/writeback stream -----------------------------
+        miss_per_req = np.bincount(line_req[~hit], minlength=num_req)
+        wb_per_req = np.bincount(line_req[wb], minlength=num_req)
+        l2_req, l2_rank = _segment_expand(miss_per_req + wb_per_req)
+        if l2_req.size:
+            l2_write = l2_rank >= miss_per_req[l2_req]
+            l2_base = req_base[l2_req]
+            # Per-base round-robin cursor: the k-th forward of a stream
+            # in this batch sits at (cursor + k * line) mod 1 MiB.
+            border = np.argsort(l2_base, kind="stable")
+            sorted_base = l2_base[border]
+            boundaries = np.flatnonzero(
+                np.concatenate(([True], sorted_base[1:] != sorted_base[:-1]))
+            )
+            stream_rank = np.empty(l2_req.size, np.int64)
+            group_rank = (np.arange(l2_req.size)
+                          - np.repeat(boundaries, np.diff(
+                              np.concatenate((boundaries,
+                                              [l2_req.size])))))
+            stream_rank[border] = group_rank
+            cursor0 = np.zeros(l2_req.size, np.int64)
+            for b in np.unique(sorted_base):
+                b = int(b)
+                sel = l2_base == b
+                count = int(sel.sum())
+                start = self._l2_cursor.get(b, 0)
+                cursor0[sel] = start
+                self._l2_cursor[b] = (
+                    (start + count * self._line) % _L2_WINDOW
+                )
+            l2_addr = l2_base + (
+                (cursor0 + stream_rank * self._line) % _L2_WINDOW
+            )
+            self._apply_l2(l2_addr, l2_write)
+
+    def _apply_l2(self, addr: np.ndarray, write: np.ndarray) -> None:
+        """Simulate the L2 access stream and charge DRAM for misses and
+        writebacks (the DRAM model's counters are additive, so the
+        summed line traffic is bit-identical to per-access calls)."""
+        l2cfg = self.l2.config
+        lb = l2cfg.line_bytes
+        first = addr // lb
+        last = (addr + self._line - 1) // lb
+        nlines = last - first + 1
+        line_req, line_rank = _segment_expand(nlines)
+        line_idx = first[line_req] + line_rank
+        lane = line_idx % l2cfg.num_sets
+        tag = line_idx // l2cfg.num_sets
+        hit, wb = self._l2_lru.simulate(lane, tag, write[line_req])
+        hits = int(np.count_nonzero(hit))
+        misses = int(line_idx.size - hits)
+        writebacks = int(np.count_nonzero(wb))
+        l2 = self.l2
+        l2._accesses += int(addr.size)
+        l2._line_accesses += int(line_idx.size)
+        l2._hits += hits
+        l2._misses += misses
+        l2._writebacks += writebacks
+        self.dram.read_lines(misses, self._line)
+        self.dram.write_lines(writebacks, self._line)
+
+    def _expand_textures(self, textures) -> Tuple[np.ndarray, ...]:
+        """Vectorize texture batches across ops: mip selection, texel
+        footprints and per-op unique-line reduction, reproducing the
+        scalar per-op arithmetic expression for expression order."""
+        meta: List[int] = []     # flat (idx, tid, tsize, spf, bilinear)
+        us: List[np.ndarray] = []
+        vs: List[np.ndarray] = []
+        for idx, op, bilinear in textures:
+            meta.extend((idx, op[0], op[1], op[4], bilinear))
+            us.append(op[2])
+            vs.append(op[3])
+        op_idx, tid, tsize, spf, bilin_i = \
+            np.array(meta, np.int64).reshape(-1, 5).T
+        bilin = bilin_i.astype(bool)
+        frags = np.array([u.size for u in us], np.int64)
+        # The pipeline's coordinate arrays are float64 1-D; concatenate
+        # consumes them without per-op conversion (the scalar reference
+        # computes in the arrays' own dtype too).
+        u_all = np.concatenate(us) if len(us) > 1 else np.asarray(us[0])
+        v_all = np.concatenate(vs) if len(vs) > 1 else np.asarray(vs[0])
+        seg_start = _exclusive_cumsum(frags)[:-1]
+        seg_of = np.repeat(np.arange(op_idx.size), frags)
+
+        # Mip level, exactly as _select_mip_level computes it per op.
+        ts_f = tsize.astype(np.float64)
+        span_u = (np.maximum.reduceat(u_all, seg_start)
+                  - np.minimum.reduceat(u_all, seg_start)) + 1.0 / ts_f
+        span_v = (np.maximum.reduceat(v_all, seg_start)
+                  - np.minimum.reduceat(v_all, seg_start)) + 1.0 / ts_f
+        texels = ((span_u * span_v) * ts_f) * ts_f
+        frags_f = frags.astype(np.float64)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            raw_level = np.trunc(
+                np.log2(texels / frags_f) / 2.0).astype(np.int64)
+        max_level = np.maximum(0, np.trunc(np.log2(ts_f)).astype(np.int64) - 2)
+        level = np.where(
+            texels <= frags_f, 0,
+            np.minimum(np.maximum(raw_level, 0), max_level),
+        )
+        level_size = np.maximum(4, tsize >> level)
+
+        ls_el = level_size[seg_of]
+        tx = np.clip((u_all * ls_el.astype(np.float64)).astype(np.int64),
+                     0, ls_el - 1)
+        ty = np.clip((v_all * ls_el.astype(np.float64)).astype(np.int64),
+                     0, ls_el - 1)
+        base_lines = (ty * ls_el + tx) * _TEXEL_BYTES // self._line
+        bilin_el = bilin[seg_of]
+        fx = np.minimum(tx + 1, ls_el - 1)
+        fy = np.minimum(ty + 1, ls_el - 1)
+        foot_lines = ((fy * ls_el + fx) * _TEXEL_BYTES // self._line)[bilin_el]
+
+        # Per-op unique lines, ascending (scalar np.unique order): sort
+        # composite (op, line) keys once across every batch.
+        shift = 44  # lines < 2^44 (texel_index * 4 / 64 of any sane size)
+        base_keys = (seg_of << shift) | base_lines
+        keys = np.sort(np.concatenate(
+            [base_keys, (seg_of[bilin_el] << shift) | foot_lines]))
+        uniq = np.flatnonzero(
+            np.concatenate(([True], keys[1:] != keys[:-1])))
+        ukeys = keys[uniq]
+        useg = ukeys >> shift
+        uline = ukeys & ((1 << shift) - 1)
+        counts = np.zeros(ukeys.size, np.int64)
+        np.add.at(counts, np.searchsorted(ukeys, base_keys), 1)
+
+        # Request metadata, in scalar call order: op order, then line
+        # ascending within each op (= rank within the op's uniques).
+        per_op = np.bincount(useg, minlength=op_idx.size)
+        rank = np.arange(ukeys.size) - _exclusive_cumsum(per_op)[useg]
+        tex_base = (
+            _TEXTURE_BASE
+            + ((tid * 2) * tsize) * tsize * _TEXEL_BYTES
+            + ((level * tsize) * tsize) * _TEXEL_BYTES // 2
+        )[useg]
+        addr = tex_base + uline * self._line
+        slot = (_TEX0 + (tid % len(self.texture_caches)))[useg]
+        extra = np.maximum(counts * spf[useg] - 1, 0)
+        return (
+            op_idx[useg],
+            rank,
+            slot,
+            np.full(ukeys.size, _TEXTURE_BASE, np.int64),
+            addr,
+            np.full(ukeys.size, self._line, np.int64),
+            np.zeros(ukeys.size, bool),
+            extra,
+        )
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    def instrumentation(self):
+        """The phase's counters as one mergeable engine record."""
+        from ..engine.instrumentation import Instrumentation
+
+        self._drain()
+        return Instrumentation(units=self.snapshot(),
+                               dram_cycles=self.dram.cycles())
+
+    def snapshot(self) -> Dict[str, Dict[str, int]]:
+        self._drain()
+        snap: Dict[str, Dict[str, int]] = {
+            "vertex": self.vertex_cache.snapshot(),
+            "tile": self.tile_cache.snapshot(),
+            "l2": self.l2.snapshot(),
+            "dram": self.dram.snapshot(),
+        }
+        for i, cache in enumerate(self.texture_caches):
+            snap[f"texture{i}"] = cache.snapshot()
+        return snap

@@ -78,6 +78,11 @@ class Cache:
 
     def __init__(self, config: CacheConfig):
         self.config = config
+        # The geometry is immutable; resolve it once rather than through
+        # the config properties on every access (they dominate the scalar
+        # replay profile otherwise).
+        self._num_sets = config.num_sets
+        self._line_bytes = config.line_bytes
         self._sets: List[_CacheSet] = [
             _CacheSet(config.associativity) for _ in range(config.num_sets)
         ]
@@ -101,13 +106,14 @@ class Cache:
             raise MemoryModelError(f"cache {self.name}: access size {size} <= 0")
         if address < 0:
             raise MemoryModelError(f"cache {self.name}: negative address")
-        line = self.config.line_bytes
+        line = self._line_bytes
+        num_sets = self._num_sets
         first = address // line
         last = (address + size - 1) // line
         result = AccessResult()
         for line_index in range(first, last + 1):
-            set_index = line_index % self.config.num_sets
-            tag = line_index // self.config.num_sets
+            set_index = line_index % num_sets
+            tag = line_index // num_sets
             result.merge(self._sets[set_index].access(tag, write))
         self.accesses += 1
         self.line_accesses += result.lines

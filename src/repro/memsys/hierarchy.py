@@ -86,6 +86,21 @@ class MemorySystem:
         result = self.vertex_cache.access(address, vertex_bytes)
         self._forward_to_l2(result, _VERTEX_BASE)
 
+    def fetch_vertex_range(self, start: int, count: int,
+                           vertex_bytes: int = 48) -> None:
+        """Fetch ``count`` consecutive vertices starting at ``start``.
+
+        One call per draw command replaces the per-vertex loop in the
+        geometry pipeline; the reference semantics are *defined* as the
+        equivalent sequence of :meth:`fetch_vertex` calls (the batched
+        model expands the same closed-form address sequence in one
+        shot).
+        """
+        if count < 0:
+            raise MemoryModelError("vertex range with negative count")
+        for index in range(start, start + count):
+            self.fetch_vertex(index, vertex_bytes)
+
     # -- parameter buffer ------------------------------------------------------
 
     def parameter_buffer_write(self, offset: int, size: int) -> None:
@@ -151,18 +166,29 @@ class MemorySystem:
 
         texel_x = np.clip((u * level_size).astype(np.int64), 0, level_size - 1)
         texel_y = np.clip((v * level_size).astype(np.int64), 0, level_size - 1)
-        if bilinear:
-            # 2x2 footprint: neighbors to the right and below (clamped).
-            texel_x = np.concatenate(
-                [texel_x, np.minimum(texel_x + 1, level_size - 1)]
-            )
-            texel_y = np.concatenate(
-                [texel_y, np.minimum(texel_y + 1, level_size - 1)]
-            )
-        texel_index = texel_y * level_size + texel_x
-        line_index, counts = np.unique(
-            texel_index * _TEXEL_BYTES // self._line, return_counts=True
+        base_lines = (
+            (texel_y * level_size + texel_x) * _TEXEL_BYTES // self._line
         )
+        touched = base_lines
+        if bilinear:
+            # 2x2 footprint: the filter also reads the neighbors to the
+            # right and below (clamped), widening the set of lines the
+            # batch *touches*.  A bilinear sample is still one cache
+            # access — the footprint must not inflate the per-line
+            # repeat counts below, only the unique-line set.
+            foot_x = np.minimum(texel_x + 1, level_size - 1)
+            foot_y = np.minimum(texel_y + 1, level_size - 1)
+            foot_lines = (
+                (foot_y * level_size + foot_x) * _TEXEL_BYTES // self._line
+            )
+            touched = np.concatenate([base_lines, foot_lines])
+        line_index = np.unique(touched)
+        # Repeat counts come from the fragments' *base* texels alone:
+        # each fragment performs ``samples_per_fragment`` accesses, and
+        # a line touched only by footprint widening is charged just its
+        # first touch.
+        counts = np.zeros(line_index.size, dtype=np.int64)
+        np.add.at(counts, np.searchsorted(line_index, base_lines), 1)
         # Each mip level lives in its own region of the texture's
         # allocation (offset by the sum of the larger levels).
         texture_base = (
@@ -173,7 +199,7 @@ class MemorySystem:
         for line, count in zip(line_index.tolist(), counts.tolist()):
             result = cache.access(texture_base + line * self._line, self._line)
             self._forward_to_l2(result, _TEXTURE_BASE)
-            extra_hits = count * samples_per_fragment - 1
+            extra_hits = max(count * samples_per_fragment - 1, 0)
             cache.hits += extra_hits
             cache.accesses += extra_hits
             cache.line_accesses += extra_hits
@@ -210,6 +236,13 @@ class MemorySystem:
         self.dram.write_lines(dirty_lines, self._line)
 
     # -- bookkeeping ---------------------------------------------------------------
+
+    def drain(self) -> None:
+        """Apply any deferred traffic.  The scalar model applies every
+        access eagerly, so this is a no-op; the batched model overrides
+        it.  Callers that want phase timings to include the cost of
+        queued traffic (the bench's reduce breakdown) call it at phase
+        boundaries without caring which implementation they hold."""
 
     def reset_stats(self) -> None:
         self.vertex_cache.reset_stats()

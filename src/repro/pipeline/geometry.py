@@ -106,13 +106,17 @@ class GeometryPipeline:
         prepass = self.features.z_prepass and state.writes_z
         depth_only_instructions = max(4, state.shader.vertex_instructions // 2)
 
-        for tri_index, triangle in enumerate(command.iter_triangles()):
+        # The whole command's vertex stream is one consecutive index
+        # range and nothing else touches memory until binning, so the
+        # per-vertex fetch loop collapses into a single ranged access —
+        # the same address sequence, one call.
+        triangles = list(command.iter_triangles())
+        self.memory.fetch_vertex_range(
+            command_vertex_base, 3 * len(triangles), _VERTEX_BYTES
+        )
+
+        for tri_index, triangle in enumerate(triangles):
             stats.primitives_in += 1
-            for vertex_offset in range(3):
-                self.memory.fetch_vertex(
-                    command_vertex_base + 3 * tri_index + vertex_offset,
-                    _VERTEX_BYTES,
-                )
             stats.vertices_fetched += 3
             stats.vertex_instructions += 3 * state.shader.vertex_instructions
             if prepass:

@@ -26,7 +26,7 @@ from ..errors import PipelineError
 from ..hw.lgt import LayerGeneratorTable
 from ..hw.parameter_buffer import ParameterBuffer
 from ..kernels import normalize_backend
-from ..memsys import MemorySystem
+from ..memsys import create_memory_system
 from ..obs.trace import get_tracer
 from ..timing import CostModel, CostParameters, FrameStats, StatsAccumulator
 from ..energy import EnergyBreakdown, EnergyModel, EnergyParameters
@@ -193,6 +193,7 @@ class GPU:
         energy_params: EnergyParameters = EnergyParameters(),
         scheduler: Optional[Scheduler] = None,
         backend: Optional[str] = None,
+        memory_system=None,
     ):
         if isinstance(features, PipelineMode):
             features = features.features()
@@ -200,7 +201,14 @@ class GPU:
         self.features = features
         self.scheduler = scheduler
         self.backend = normalize_backend(backend)
-        self.memory = MemorySystem(config)
+        # The backend knob selects the memory-system implementation too
+        # (scalar reference vs batched trace consumption — bit-identical,
+        # so still execution policy).  ``memory_system`` lets harness
+        # code inject a recorder/proxy without subclassing the GPU.
+        self.memory = (
+            memory_system if memory_system is not None
+            else create_memory_system(config, self.backend)
+        )
         self.parameter_buffer = ParameterBuffer(config.num_tiles)
         self.lgt = LayerGeneratorTable(config.num_tiles) if features.uses_layers else None
         if not features.evr_hardware:

@@ -114,9 +114,22 @@ class RasterPipeline:
 
         with tracer.span("execute", category="raster", tiles=len(jobs)):
             results = self.scheduler.map(execute_tile_job, jobs)
+        # The reduce phase splits into two independent sub-loops so the
+        # bench can attribute its cost: replaying the recorded memory
+        # traces (the historical bottleneck) versus folding the
+        # functional results into the frame.  ``drain()`` pins deferred
+        # batched-model work inside the replay span.
         with tracer.span("reduce", category="raster", tiles=len(jobs)):
-            for job, result in zip(jobs, results):
-                self._reduce_tile(job, result, image, stats)
+            with tracer.span("reduce-replay", category="raster",
+                             tiles=len(jobs)):
+                for result in results:
+                    stats.merge(result.stats)
+                    replay_memory_trace(result.memory_ops, self.memory)
+                self.memory.drain()
+            with tracer.span("reduce-finalize", category="raster",
+                             tiles=len(jobs)):
+                for job, result in zip(jobs, results):
+                    self._reduce_tile(job, result, image, stats)
 
     # -- tile skipping (Rendering Elimination) ------------------------------
 
@@ -152,10 +165,11 @@ class RasterPipeline:
         image: np.ndarray,
         stats: FrameStats,
     ) -> None:
-        """Fold one tile's result into the frame — always in tile order."""
-        stats.merge(result.stats)
-        replay_memory_trace(result.memory_ops, self.memory)
+        """Fold one tile's result into the frame — always in tile order.
 
+        Stats merging and memory-trace replay happen in the dedicated
+        replay sub-loop of :meth:`render_frame` before this runs.
+        """
         if (
             self.re is not None
             and self.features.evr_signature_filter

@@ -180,9 +180,12 @@ class SchedulerSpec:
     :func:`repro.engine.make_scheduler` semantics.
 
     ``backend`` selects the kernel implementation for the fragment hot
-    path (:mod:`repro.kernels`).  Backends are bit-identical by
-    contract, which is why this section sits outside the spec hash:
-    results computed with either backend share cache entries.
+    path (:mod:`repro.kernels`) and the memory-system implementation
+    used to replay recorded traces (:mod:`repro.memsys` — "numpy" gets
+    the batched model, everything else the scalar reference).  Backends
+    are bit-identical by contract, which is why this section sits
+    outside the spec hash: results computed with either backend share
+    cache entries.
     """
 
     jobs: int = 1

@@ -63,6 +63,36 @@ class TestRunBench:
         speedup = tiny_record["speedup"]
         assert speedup["fragments_per_second"] > 0
         assert speedup["frames_per_second"] > 0
+        assert speedup["cache_ops_per_second"] > 0
+
+    def test_machine_info_recorded(self, tiny_record):
+        machine = tiny_record["machine"]
+        assert machine["numpy_version"]
+        assert machine["cpu_model"]
+        assert machine["cpu_count"] >= 1
+        assert machine["python_version"].count(".") == 2
+
+    def test_memsys_sweep_replays_one_shared_trace(self, tiny_record):
+        sweeps = [result["memsys_sweep"]
+                  for result in tiny_record["backends"].values()]
+        # Both backends replay the same recorded pipeline trace and,
+        # being bit-identical, must simulate the same number of cache
+        # accesses; only the wall time may differ.
+        assert sweeps[0]["trace_ops"] == sweeps[1]["trace_ops"] > 0
+        assert sweeps[0]["cache_ops"] == sweeps[1]["cache_ops"] > 0
+        for sweep in sweeps:
+            assert sweep["best_seconds"] > 0
+            assert sweep["cache_ops_per_second"] == pytest.approx(
+                sweep["cache_ops"] / sweep["best_seconds"])
+
+    def test_reduce_phase_is_subdivided(self, tiny_record):
+        for result in tiny_record["backends"].values():
+            phases = result["raster_phase_ms"]
+            assert {"reduce", "reduce-replay", "reduce-finalize"} \
+                <= set(phases)
+            # The sub-spans nest inside the reduce span.
+            assert phases["reduce-replay"] + phases["reduce-finalize"] \
+                <= phases["reduce"] * 1.01
 
     def test_summary_mentions_backends(self, tiny_record):
         text = format_bench_summary(tiny_record)
@@ -80,12 +110,15 @@ class TestRunBench:
 
 
 class TestRegressionGate:
-    def _record(self, speedup):
-        return {"speedup": {"fragments_per_second": speedup}}
+    def _record(self, speedup, replay=None):
+        out = {"speedup": {"fragments_per_second": speedup}}
+        if replay is not None:
+            out["speedup"]["cache_ops_per_second"] = replay
+        return out
 
-    def _baseline(self, tmp_path, speedup):
+    def _baseline(self, tmp_path, speedup, replay=None):
         path = tmp_path / "baseline.json"
-        path.write_text(json.dumps(self._record(speedup)))
+        path.write_text(json.dumps(self._record(speedup, replay)))
         return str(path)
 
     def test_clean_when_within_tolerance(self, tmp_path):
@@ -108,3 +141,24 @@ class TestRegressionGate:
         baseline.write_text(json.dumps({"speedup": {}}))
         failures = check_bench_regression(self._record(10.0), str(baseline))
         assert failures
+
+    def test_gates_replay_ratio_when_baselined(self, tmp_path):
+        baseline = self._baseline(tmp_path, 10.0, replay=5.0)
+        # Both ratios healthy: clean.
+        assert check_bench_regression(self._record(10.0, replay=4.5),
+                                      baseline, tolerance=0.2) == []
+        # Kernel ratio healthy but replay throughput collapsed: fails.
+        failures = check_bench_regression(self._record(10.0, replay=3.0),
+                                          baseline, tolerance=0.2)
+        assert len(failures) == 1
+        assert "replay" in failures[0]
+        # A record with no replay ratio can't satisfy the baseline.
+        failures = check_bench_regression(self._record(10.0), baseline,
+                                          tolerance=0.2)
+        assert failures
+
+    def test_old_baseline_without_replay_ratio_still_gates_kernel(
+            self, tmp_path):
+        baseline = self._baseline(tmp_path, 10.0)
+        assert check_bench_regression(self._record(9.0, replay=999.0),
+                                      baseline, tolerance=0.2) == []
