@@ -11,7 +11,12 @@ Subcommands:
 * ``profile`` — run one benchmark under the profiler and print where the
   wall-clock time went (phases, jobs, worker occupancy).
 * ``validate`` — cross-mode pixel-equality and invariant checks.
+* ``bench`` — measure backend throughput; ``--history`` prints the
+  ledger's speedup trajectory.
 * ``cache`` — inspect or clear the persistent run cache.
+* ``ledger`` — list/show/diff/gc the persistent run ledger; ``check``
+  exits non-zero when the newest entries drift from the ledger median.
+* ``dashboard`` — render the ledger as one self-contained HTML page.
 * ``spec`` — show, diff or dump the resolved experiment spec.
 
 Every experiment-running command resolves its parameters through one
@@ -40,17 +45,32 @@ Observability (see :mod:`repro.obs`): every subcommand takes ``-v`` /
 ``--verbose`` and ``-q`` / ``--quiet`` *after* the subcommand name;
 ``run``, ``figure``, ``report`` and ``profile`` additionally take
 ``--trace out.json`` (Chrome/Perfetto trace-event JSON) and ``--metrics
-out.jsonl`` (or ``.csv``) to export what was measured.  Neither flag
-changes any simulated result; metrics exports lead with a ``spec``
-record carrying the resolved spec and its hash for provenance.
+out.jsonl`` (or ``.csv``) to export what was measured.  ``--live``
+renders per-benchmark progress (fragments/s, cache-ops/s) to the
+terminal and ``--events out.jsonl`` streams the structured event bus to
+a crash-durable JSONL log; both ride the same bus, fed from workers over
+the result channel.  No observability flag changes any simulated result
+— a run with subscribers attached is bit-identical to a bare run.
+Metrics exports lead with a ``spec`` record carrying the resolved spec
+and its hash for provenance.
+
+Every ``run``/``figure``/``report``/``bench`` invocation also appends
+its distilled results to the persistent run ledger (``.repro_ledger/``
+by default; ``--ledger DIR`` or ``$REPRO_LEDGER_DIR`` overrides,
+``--ledger off`` disables).  ``repro ledger list|show|diff|gc|check``
+inspects it — ``check`` exits non-zero on drift from the ledger median —
+and ``repro dashboard`` renders it into one self-contained HTML page.
 """
 
 from __future__ import annotations
 
 import argparse
+import atexit
+import json
 import os
 import sys
-from contextlib import contextmanager
+import time
+from contextlib import ExitStack, contextmanager
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from . import __version__
@@ -88,13 +108,30 @@ from .imageio import write_ppm
 from .kernels import DEFAULT_BACKEND, available_backends
 from .obs import (
     ChromeTracer,
+    EventBus,
+    JsonlEventWriter,
+    LiveRenderer,
+    MetricsSubscriber,
     Output,
+    PhaseAccumulator,
+    RunLedger,
     SchedulerProfiler,
+    TracerSubscriber,
     global_registry,
+    publishing,
     setup_logging,
     tracing,
     write_csv_records,
     write_jsonl,
+)
+from .obs.dashboard import write_dashboard
+from .obs.events import RunFinished, RunStarted, get_bus
+from .obs.ledger import (
+    DEFAULT_RATE_TOLERANCE,
+    DEFAULT_RATIO_TOLERANCE,
+    diff_entries,
+    entry_label,
+    format_ledger_rows,
 )
 from .obs.log import verbosity_from_flags
 from .obs.metrics import frame_record, run_record, spec_record
@@ -244,6 +281,25 @@ def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
         help="export metrics records; .csv writes flattened CSV, "
              "anything else JSON Lines",
     )
+    parser.add_argument(
+        "--events", default=None, metavar="FILE",
+        help="stream the structured event bus to a JSONL log "
+             "(crash-durable: each event is flushed as it arrives)",
+    )
+    parser.add_argument(
+        "--live", action="store_true", default=False,
+        help="live terminal progress (per-benchmark phases, fragments/s, "
+             "cache-ops/s); falls back to plain lines when not a TTY",
+    )
+    _add_ledger_argument(parser)
+
+
+def _add_ledger_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--ledger", default=None, metavar="DIR",
+        help="run-ledger directory (default: $REPRO_LEDGER_DIR or "
+             ".repro_ledger; 'off' disables recording)",
+    )
 
 
 def _output_flags_parent() -> argparse.ArgumentParser:
@@ -297,16 +353,102 @@ def _report_failures(runner: SuiteRunner, out: Output) -> int:
 def _command_tracer(trace_path: str,
                     out: Output) -> Iterator[Optional[ChromeTracer]]:
     """Install a :class:`ChromeTracer` for the command when ``--trace``
-    (or ``obs.trace``) was given (yields None otherwise); writes the
-    file on clean exit."""
+    (or ``obs.trace``) was given (yields None otherwise).
+
+    Flush-on-crash: the file is written in a ``finally`` (an exception
+    propagating through the command still leaves the partial trace on
+    disk as valid JSON), and ``arm_flush`` registers an ``atexit``
+    backstop for exits that skip the unwind entirely."""
     if not trace_path:
         yield None
         return
     tracer = ChromeTracer()
-    with tracing(tracer):
-        yield tracer
-    tracer.write(trace_path)
-    out.info(f"trace ({len(tracer.events)} events) -> {trace_path}")
+    tracer.arm_flush(trace_path)
+    try:
+        with tracing(tracer):
+            yield tracer
+    finally:
+        tracer.disarm_flush()
+        tracer.write(trace_path)
+        out.info(f"trace ({len(tracer.events)} events) -> {trace_path}")
+
+
+class _BusSession:
+    """What a command gets back from :func:`_command_bus`: the live bus
+    (None when no subscriber was requested) and the phase accumulator
+    that fills the ledger's per-cell ``phases`` column."""
+
+    def __init__(self) -> None:
+        self.bus: Optional[EventBus] = None
+        self.accumulator = PhaseAccumulator()
+
+    def phases_for(self, benchmark: str, mode: str) -> Dict[str, float]:
+        return self.accumulator.for_cell(benchmark, mode)
+
+
+@contextmanager
+def _command_bus(events_path: str, live: bool, out: Output,
+                 tracer: Optional[ChromeTracer] = None,
+                 ) -> Iterator[_BusSession]:
+    """Install the event bus with the requested subscribers for the
+    command's duration (``--events`` JSONL writer, ``--live`` renderer,
+    tracer and metrics-registry consumers, the ledger's phase
+    accumulator).  Without ``--events``/``--live`` the NULL_BUS stays
+    installed and instrumented call sites pay one attribute check.
+
+    The JSONL writer flushes per event and is additionally registered
+    with ``atexit`` while open, so a crashed or killed run leaves a
+    valid prefix of the stream on disk (flush-on-crash)."""
+    session = _BusSession()
+    if not (events_path or live):
+        yield session
+        return
+    bus = EventBus()
+    session.bus = bus
+    bus.subscribe(session.accumulator)
+    writer: Optional[JsonlEventWriter] = None
+    renderer: Optional[LiveRenderer] = None
+    if events_path:
+        writer = JsonlEventWriter(events_path)
+        atexit.register(writer.close)
+        bus.subscribe(writer)
+    if live:
+        renderer = LiveRenderer()
+        bus.subscribe(renderer)
+    if tracer is not None:
+        bus.subscribe(TracerSubscriber(tracer))
+    bus.subscribe(MetricsSubscriber(global_registry()))
+    try:
+        with publishing(bus):
+            yield session
+    finally:
+        if renderer is not None:
+            renderer.close()
+        if writer is not None:
+            writer.close()
+            atexit.unregister(writer.close)
+            out.info(f"events ({writer.written} events) -> {events_path}")
+
+
+def _ledger_record_suite(spec: RunSpec, runner: SuiteRunner,
+                         session: _BusSession, out: Output,
+                         source: str) -> None:
+    """Append every settled (benchmark, mode) cell of a suite sweep to
+    the run ledger (failed cells are skipped by ``record_run``)."""
+    ledger = RunLedger(spec.obs.ledger)
+    appended = 0
+    for (benchmark, mode), metrics in sorted(
+        runner.results().items(),
+        key=lambda kv: (kv[0][0], kv[0][1].value),
+    ):
+        if ledger.record_run(
+            spec.spec_hash(), metrics,
+            phases=session.phases_for(benchmark, mode.value),
+            source=source,
+        ) is not None:
+            appended += 1
+    if appended:
+        out.detail(f"ledger: {appended} entries -> {ledger.path}")
 
 
 def _write_metrics(records: List[Dict[str, Any]], path: str,
@@ -345,15 +487,21 @@ def _command_run(args: argparse.Namespace) -> int:
     plan = spec.resilience.fault_plan()
     # Spec-file-driven runs are declarative and therefore cacheable:
     # distilled metrics are keyed by the spec's content hash, so a second
-    # identical invocation skips simulation entirely.  Exports need the
-    # full per-frame results, so they always simulate.
-    exporting = bool(args.csv or spec.obs.trace or spec.obs.metrics)
+    # identical invocation skips simulation entirely.  Exports (and live
+    # telemetry) need the full per-frame results, so they always simulate.
+    exporting = bool(args.csv or spec.obs.trace or spec.obs.metrics
+                     or spec.obs.wants_bus())
     disk = (DiskCache(default_cache_dir())
             if args.spec and not exporting else None)
+    ledger = RunLedger(spec.obs.ledger)
+    ledger_entries = 0
     cache_hits = 0
     cache_misses = 0
     tables: List[str] = []
-    with _command_tracer(spec.obs.trace, out) as tracer:
+    with ExitStack() as stack:
+        tracer = stack.enter_context(_command_tracer(spec.obs.trace, out))
+        session = stack.enter_context(
+            _command_bus(spec.obs.events, spec.obs.live, out, tracer))
         profiler = SchedulerProfiler(tracer) if tracer is not None else None
         scheduler = make_scheduler(spec.scheduler.jobs, profiler=profiler)
         if policy is not None:
@@ -382,9 +530,23 @@ def _command_run(args: argparse.Namespace) -> int:
                             stream = benchmark_stream(benchmark, config)
                         out.detail(f"simulating {benchmark}:{mode.value} "
                                    f"({config.frames} frames, {scheduler!r})")
+                        bus = get_bus()
+                        started = time.perf_counter()
+                        if bus.enabled:
+                            bus.emit(RunStarted(benchmark=benchmark,
+                                                mode=mode.value,
+                                                frames=config.frames))
                         result = GPU.from_spec(
                             spec, mode, scheduler=scheduler
                         ).render_stream(stream)
+                        if bus.enabled:
+                            bus.emit(RunFinished(
+                                benchmark=benchmark, mode=mode.value,
+                                seconds=time.perf_counter() - started,
+                                frames=len(result.frames),
+                                fragments=(result.total_stats()
+                                           .fragments_shaded),
+                            ))
                         if args.csv:
                             path = (f"{args.csv.rstrip('.csv')}"
                                     f"_{mode.value}.csv")
@@ -405,6 +567,11 @@ def _command_run(args: argparse.Namespace) -> int:
                                                       result)
                         if disk is not None:
                             disk.put(key, metrics)
+                    if ledger.record_run(
+                        spec.spec_hash(), metrics,
+                        phases=session.phases_for(benchmark, mode.value),
+                    ) is not None:
+                        ledger_entries += 1
                     if baseline_cycles is None:
                         baseline_cycles = metrics.total_cycles
                     rows.append([
@@ -431,6 +598,8 @@ def _command_run(args: argparse.Namespace) -> int:
     if disk is not None:
         out.info(f"run cache: {cache_hits} hits, "
                  f"{cache_misses} misses ({disk.directory})")
+    if ledger_entries:
+        out.detail(f"ledger: {ledger_entries} entries -> {ledger.path}")
     # Tables last, so the primary payload is the tail of the output
     # whatever observability chatter preceded it.
     for table in tables:
@@ -441,7 +610,10 @@ def _command_run(args: argparse.Namespace) -> int:
 def _command_figure(args: argparse.Namespace) -> int:
     resolved, spec, out = _resolve(args)
     global_registry().reset()
-    with _command_tracer(spec.obs.trace, out) as tracer:
+    with ExitStack() as stack:
+        tracer = stack.enter_context(_command_tracer(spec.obs.trace, out))
+        session = stack.enter_context(
+            _command_bus(spec.obs.events, spec.obs.live, out, tracer))
         profiler = SchedulerProfiler(tracer) if tracer is not None else None
         with SuiteRunner(spec=spec,
                          cache_dir=default_cache_dir(),
@@ -458,6 +630,7 @@ def _command_figure(args: argparse.Namespace) -> int:
                                 **global_registry().as_dict()})
                 _write_metrics(records, spec.obs.metrics, out)
             status = _report_failures(runner, out)
+        _ledger_record_suite(spec, runner, session, out, source="figure")
     return status
 
 
@@ -483,7 +656,10 @@ def _command_render(args: argparse.Namespace) -> int:
 def _command_report(args: argparse.Namespace) -> int:
     resolved, spec, out = _resolve(args)
     global_registry().reset()
-    with _command_tracer(spec.obs.trace, out) as tracer:
+    with ExitStack() as stack:
+        tracer = stack.enter_context(_command_tracer(spec.obs.trace, out))
+        session = stack.enter_context(
+            _command_bus(spec.obs.events, spec.obs.live, out, tracer))
         profiler = SchedulerProfiler(tracer) if tracer is not None else None
         with SuiteRunner(spec=spec,
                          cache_dir=default_cache_dir(),
@@ -492,6 +668,7 @@ def _command_report(args: argparse.Namespace) -> int:
             report = render_report(runner)
             summary = runner.cache_summary()
             records = (runner.metrics_records() if spec.obs.metrics else [])
+        _ledger_record_suite(spec, runner, session, out, source="report")
     if args.output:
         with open(args.output, "w") as handle:
             handle.write(report)
@@ -515,7 +692,8 @@ def _command_profile(args: argparse.Namespace) -> int:
     global_registry().reset()
     tracer = ChromeTracer()
     profiler = SchedulerProfiler(tracer)
-    with tracing(tracer):
+    with tracing(tracer), _command_bus(spec.obs.events, spec.obs.live,
+                                       out, tracer):
         with make_scheduler(spec.scheduler.jobs,
                             profiler=profiler) as scheduler:
             with tracer.span(f"run {args.benchmark}:{mode.value}",
@@ -577,14 +755,47 @@ def _command_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _entry_stamp(entry: Dict[str, Any]) -> str:
+    ts = entry.get("ts")
+    when = (time.strftime("%Y-%m-%d %H:%M:%S", time.localtime(ts))
+            if ts else "-")
+    sha = (entry.get("git_sha") or "-")[:9]
+    return f"{when}  {sha:<9}"
+
+
 def _command_bench(args: argparse.Namespace) -> int:
     out = _make_output(args)
-    record = run_bench(args.preset, backends=args.backends,
-                       repeat=args.repeat)
+    ledger = RunLedger(args.ledger)
+    if args.history:
+        # Ratio trajectory straight from the ledger; does not run the
+        # bench.
+        entries = [entry for entry in ledger.entries()
+                   if entry.get("kind") == "bench"
+                   and entry.get("preset") == args.preset]
+        if not entries:
+            where = ledger.path if ledger.enabled else "ledger disabled"
+            out.result(f"no bench history for preset {args.preset!r} "
+                       f"({where})")
+            return 0
+        out.result(f"bench history: preset {args.preset} "
+                   f"({len(entries)} entries, {ledger.path})")
+        names = sorted({name for entry in entries
+                        for name in entry.get("speedup", {})})
+        for entry in entries:
+            ratios = "  ".join(
+                f"{name} x{entry['speedup'][name]:.2f}"
+                for name in names if name in entry.get("speedup", {}))
+            out.result(f"{_entry_stamp(entry)}  {ratios or '-'}")
+        return 0
+    with _command_bus(args.events or "", args.live, out):
+        record = run_bench(args.preset, backends=args.backends,
+                           repeat=args.repeat)
     path = args.output or f"BENCH_{args.preset}.json"
     write_bench_json(record, path)
     out.result(format_bench_summary(record))
     out.result(f"wrote {path}")
+    if ledger.record_bench(record) is not None:
+        out.detail(f"ledger: bench entry -> {ledger.path}")
     if args.check:
         failures = check_bench_regression(record, args.check,
                                           args.tolerance)
@@ -594,6 +805,87 @@ def _command_bench(args: argparse.Namespace) -> int:
             return 1
         out.result(f"no regression against {args.check} "
                    f"(tolerance {args.tolerance:.0%})")
+    return 0
+
+
+def _command_ledger(args: argparse.Namespace) -> int:
+    out = _make_output(args)
+    ledger = RunLedger(args.ledger)
+    if not ledger.enabled:
+        print("repro ledger: the ledger is disabled (--ledger off / "
+              "$REPRO_LEDGER_DIR)", file=sys.stderr)
+        return 2
+    if args.action == "gc":
+        kept, dropped = ledger.gc(args.keep)
+        out.result(f"ledger gc: kept {kept}, dropped {dropped} "
+                   f"(newest {args.keep} per group, {ledger.path})")
+        return 0
+    if args.action == "check":
+        findings = ledger.check(rate_tolerance=args.rate_tolerance,
+                                ratio_tolerance=args.tolerance)
+        for finding in findings:
+            print(f"repro ledger: DRIFT: {finding}", file=sys.stderr)
+        if findings:
+            return 1
+        groups = ledger.groups()
+        gated = sum(1 for group in groups.values() if len(group) >= 2)
+        out.result(f"ledger check: no drift ({gated} of {len(groups)} "
+                   f"groups have history to gate against)")
+        return 0
+    entries = ledger.entries()
+    if not entries:
+        out.result(f"ledger empty ({ledger.path})")
+        return 0
+    if args.action == "list":
+        out.result(f"ledger: {len(entries)} entries ({ledger.path})")
+        for line in format_ledger_rows(entries):
+            out.result(line)
+        return 0
+    if args.action == "show":
+        index = len(entries) - 1
+        if args.refs:
+            try:
+                index = int(args.refs[0])
+            except ValueError:
+                raise SpecError(
+                    f"repro ledger show takes an entry index "
+                    f"(from `ledger list`), got {args.refs[0]!r}"
+                )
+        if not -len(entries) <= index < len(entries):
+            raise SpecError(
+                f"ledger entry index {index} out of range "
+                f"(0..{len(entries) - 1})"
+            )
+        out.result(json.dumps(entries[index], indent=2, sort_keys=True))
+        return 0
+    # diff: newest two entries of each group (optionally filtered by a
+    # substring of the group label, e.g. `repro ledger diff tib:evr`).
+    shown = 0
+    for key, group in sorted(ledger.groups().items()):
+        if len(group) < 2:
+            continue
+        label = entry_label(group[-1])
+        if args.refs and not any(ref in label for ref in args.refs):
+            continue
+        out.result(f"{label}  ({_entry_stamp(group[-2])} -> "
+                   f"{_entry_stamp(group[-1])})")
+        for line in diff_entries(group[-2], group[-1]):
+            out.result(line)
+        shown += 1
+    if not shown:
+        out.result("ledger diff: no group has two entries to compare"
+                   + (f" matching {args.refs}" if args.refs else ""))
+    return 0
+
+
+def _command_dashboard(args: argparse.Namespace) -> int:
+    out = _make_output(args)
+    ledger = RunLedger(args.ledger)
+    path = write_dashboard(args.output, ledger,
+                           events_path=args.events or None,
+                           metrics_path=args.metrics or None)
+    entries = ledger.entries()
+    out.result(f"dashboard ({len(entries)} ledger entries) -> {path}")
     return 0
 
 
@@ -797,6 +1089,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="allowed fractional speedup regression for --check "
              "(default 0.2)",
     )
+    bench_parser.add_argument(
+        "--history", action="store_true",
+        help="print the preset's speedup-ratio trajectory from the run "
+             "ledger instead of benchmarking",
+    )
+    bench_parser.add_argument(
+        "--events", default=None, metavar="FILE",
+        help="stream bench events (per-backend rates, speedup ratios) "
+             "to a JSONL log",
+    )
+    bench_parser.add_argument(
+        "--live", action="store_true", default=False,
+        help="live terminal progress while the bench runs",
+    )
+    _add_ledger_argument(bench_parser)
 
     cache_parser = subparsers.add_parser(
         "cache", help="inspect or clear the persistent run cache",
@@ -806,6 +1113,58 @@ def build_parser() -> argparse.ArgumentParser:
     cache_parser.add_argument(
         "--dir", default="",
         help="cache directory (default: $REPRO_CACHE_DIR or .repro_cache)",
+    )
+
+    ledger_parser = subparsers.add_parser(
+        "ledger",
+        help="inspect the persistent run ledger; `check` gates drift",
+        parents=[output_flags],
+    )
+    ledger_parser.add_argument(
+        "action", choices=("list", "show", "diff", "gc", "check"),
+    )
+    ledger_parser.add_argument(
+        "refs", nargs="*",
+        help="for show: an entry index from `ledger list` (default "
+             "newest); for diff: substring filters on the group label",
+    )
+    _add_ledger_argument(ledger_parser)
+    ledger_parser.add_argument(
+        "--keep", type=int, default=10, metavar="N",
+        help="for gc: newest entries kept per (spec, benchmark, mode) "
+             "or bench-preset group (default 10)",
+    )
+    ledger_parser.add_argument(
+        "--tolerance", type=float, default=DEFAULT_RATIO_TOLERANCE,
+        metavar="FRAC",
+        help="for check: allowed relative drop of a bench speedup ratio "
+             f"below the ledger median (default {DEFAULT_RATIO_TOLERANCE})",
+    )
+    ledger_parser.add_argument(
+        "--rate-tolerance", type=float, default=DEFAULT_RATE_TOLERANCE,
+        metavar="ABS",
+        help="for check: allowed absolute drift of EVR effectiveness "
+             f"rates from the ledger median "
+             f"(default {DEFAULT_RATE_TOLERANCE})",
+    )
+
+    dashboard_parser = subparsers.add_parser(
+        "dashboard",
+        help="render the run ledger as one self-contained HTML page",
+        parents=[output_flags],
+    )
+    dashboard_parser.add_argument(
+        "--output", default="dashboard.html", metavar="FILE",
+        help="HTML output path (default dashboard.html)",
+    )
+    _add_ledger_argument(dashboard_parser)
+    dashboard_parser.add_argument(
+        "--events", default=None, metavar="FILE",
+        help="event JSONL log feeding the worker-occupancy panel",
+    )
+    dashboard_parser.add_argument(
+        "--metrics", default=None, metavar="FILE",
+        help="metrics JSONL export feeding the memory-system panel",
     )
 
     validate_parser = subparsers.add_parser(
@@ -850,6 +1209,8 @@ _COMMANDS = {
     "validate": _command_validate,
     "bench": _command_bench,
     "cache": _command_cache,
+    "ledger": _command_ledger,
+    "dashboard": _command_dashboard,
     "spec": _command_spec,
 }
 

@@ -21,6 +21,12 @@ attached, every mapped call is wrapped so the executing process measures
 its own wall time; the profiler unwraps the results on the way back.  The
 wrapper passes results through untouched — profiled and unprofiled runs
 are bit-identical, only observability output differs.
+
+The pool scheduler applies the same pattern to the structured event bus
+(:mod:`repro.obs.events`): when a bus is installed, mapped calls are
+wrapped in :class:`~repro.obs.events.EventForwardingCall` so events a
+job emits inside a worker ride the result channel home and are re-emitted
+on the parent's bus, in submission order, before results are returned.
 """
 
 from __future__ import annotations
@@ -38,6 +44,8 @@ from typing import (
     Sequence,
     TypeVar,
 )
+
+from ..obs.events import EventForwardingCall, get_bus, replay_forwarded
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..obs.profile import SchedulerProfiler
@@ -145,6 +153,11 @@ class ProcessPoolScheduler:
             return [fn(items[0])]
         executor = self._ensure_executor()
         chunksize = max(1, len(items) // (self.jobs * 4))
+        bus = get_bus()
+        if bus.enabled:
+            forwarding = EventForwardingCall(fn)
+            results = executor.map(forwarding, items, chunksize=chunksize)
+            return [replay_forwarded(value, bus) for value in results]
         return list(executor.map(fn, items, chunksize=chunksize))
 
     def close(self) -> None:

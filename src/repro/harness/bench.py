@@ -57,6 +57,7 @@ from ..memsys.ops import (
     VertexRangeOp,
     replay_memory_trace,
 )
+from ..obs.events import MetricSample, get_bus
 from ..obs.profile import phase_breakdown
 from ..obs.trace import ChromeTracer, tracing
 from ..pipeline import GPU, PipelineMode
@@ -392,6 +393,7 @@ def run_bench(preset_name: str,
             f"known: {sorted(BENCH_PRESETS)}"
         ) from None
     chosen = tuple(backends) if backends else available_backends()
+    bus = get_bus()
 
     results: Dict[str, Dict] = {}
     jobs: Optional[List[TileJob]] = None
@@ -411,6 +413,13 @@ def run_bench(preset_name: str,
         if record_trace:
             trace = measurement.pop("_trace")
         results[backend] = measurement
+        if bus.enabled:
+            bus.emit(MetricSample(
+                name=f"bench.{backend}.frames_per_second",
+                value=measurement["frames_per_second"]))
+            bus.emit(MetricSample(
+                name=f"bench.{backend}.cache_ops_per_second",
+                value=measurement["cache_ops_per_second"]))
     for backend, sweep in _kernel_sweeps(jobs, chosen, repeat).items():
         results[backend]["kernel_sweep"] = sweep
     if trace is not None:
@@ -450,6 +459,10 @@ def run_bench(preset_name: str,
                 batched["memsys_sweep"]["cache_ops_per_second"]
                 / scalar["memsys_sweep"]["cache_ops_per_second"]
             )
+        if bus.enabled:
+            for name, value in sorted(record["speedup"].items()):
+                bus.emit(MetricSample(name=f"bench.speedup.{name}",
+                                      value=value))
     return record
 
 

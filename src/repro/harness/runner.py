@@ -28,12 +28,14 @@ placeholders instead of aborting the sweep.
 from __future__ import annotations
 
 import dataclasses
+import time
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..config import GPUConfig
 from ..engine.diskcache import DiskCache, run_cache_key
 from ..engine.scheduler import Scheduler, make_scheduler
+from ..obs.events import MetricSample, RunFinished, RunStarted, get_bus
 from ..obs.profile import SchedulerProfiler
 from ..obs.trace import get_tracer
 from ..pipeline import GPU, PipelineMode, RunResult
@@ -162,12 +164,28 @@ def run_benchmark(
     if spec is None:
         spec = RunSpec.from_config(config or GPUConfig.default())
     config = config or spec.gpu
+    bus = get_bus()
+    started = time.perf_counter()
+    if bus.enabled:
+        bus.emit(RunStarted(
+            benchmark=benchmark, mode=mode.value,
+            frames=frames if frames is not None
+            else getattr(config, "frames", 0),
+        ))
     with get_tracer().span(f"run {benchmark}:{mode.value}",
                            category="harness"):
         stream = benchmark_stream(benchmark, config, frames)
         gpu = GPU.from_spec(spec, mode, scheduler=scheduler, config=config)
         result = gpu.render_stream(stream)
-        return metrics_from_result(benchmark, mode, result)
+        metrics = metrics_from_result(benchmark, mode, result)
+    if bus.enabled:
+        bus.emit(RunFinished(
+            benchmark=benchmark, mode=mode.value,
+            seconds=time.perf_counter() - started,
+            frames=len(result.frames),
+            fragments=result.total_stats().fragments_shaded,
+        ))
+    return metrics
 
 
 def _run_pair(
@@ -360,6 +378,11 @@ class SuiteRunner:
             summary += f"; {len(self.failures)} cells FAILED"
         return summary
 
+    def results(self) -> Dict[Tuple[str, PipelineMode], RunMetrics]:
+        """A snapshot of every memoized (benchmark, mode) result — the
+        run ledger records these per invocation."""
+        return dict(self._cache)
+
     def metrics_records(self) -> List[Dict[str, Any]]:
         """Every memoized run as a ``--metrics`` export record, plus one
         trailing summary record with the runner's cache counters."""
@@ -425,6 +448,16 @@ class SuiteRunner:
                 (benchmark, mode, self.spec)
                 for benchmark, mode in missing
             ]
+            total = len(missing)
+            settled = [0]  # suite-progress MetricSample numerator
+
+            def _progress() -> None:
+                settled[0] += 1
+                bus = get_bus()
+                if bus.enabled:
+                    bus.emit(MetricSample(name="suite.progress",
+                                          value=settled[0] / total))
+
             if self.resilient:
                 # Supervised fan-out: each cell settles (and is
                 # checkpointed) independently; a permanently failed
@@ -435,6 +468,7 @@ class SuiteRunner:
                         self._record_failure(missing[index], value)
                     else:
                         self._store(missing[index], value, to_disk=True)
+                    _progress()
 
                 with get_tracer().span("suite.map", category="harness",
                                        runs=len(missing)):
@@ -449,6 +483,7 @@ class SuiteRunner:
                     )
                 for key, metrics in zip(missing, results):
                     self._store(key, metrics, to_disk=True)
+                    _progress()
             else:
                 for benchmark, mode in missing:
                     self._store(
@@ -456,6 +491,7 @@ class SuiteRunner:
                         run_benchmark(benchmark, mode, spec=self.spec),
                         to_disk=True,
                     )
+                    _progress()
 
         return {
             (benchmark, mode.value): self._cache[(benchmark, mode)]

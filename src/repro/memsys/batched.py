@@ -56,6 +56,7 @@ import numpy as np
 
 from ..config import CacheConfig, GPUConfig
 from ..errors import MemoryModelError
+from ..obs.metrics import global_registry
 from .dram import DRAMChannelModel
 from .hierarchy import (
     _PARAMETER_BASE,
@@ -216,12 +217,25 @@ class _LaneLRU:
             hit_out[opos] = hit
             wb_out[opos] = wb
 
+        tail_lanes = 0
         if vec_ranks < max_count:
-            for lane in np.flatnonzero(counts > vec_ranks):
+            stragglers = np.flatnonzero(counts > vec_ranks)
+            tail_lanes = int(stragglers.size)
+            for lane in stragglers:
                 self._simulate_tail(int(lane), c_tag, c_wr, c_pos,
                                     int(lane_start[lane]) + vec_ranks,
                                     int(lane_start[lane] + counts[lane]),
                                     hit_out, wb_out)
+
+        # Batching telemetry (observability-only): how much of the
+        # stream the run-collapse absorbed and how much fell to the
+        # scalar tail — the dashboard's memsys panel reads these.
+        registry = global_registry()
+        registry.counter("memsys.line_accesses").inc(n)
+        registry.counter("memsys.collapsed_runs").inc(int(dup.sum()))
+        registry.counter("memsys.batch_lanes").inc(
+            int(np.count_nonzero(counts)))
+        registry.counter("memsys.scalar_tail_lanes").inc(tail_lanes)
         return hit_out, wb_out
 
     def _simulate_tail(self, lane: int, c_tag, c_wr, c_pos,
@@ -517,6 +531,8 @@ class BatchedMemorySystem:
         if not pending:
             return
         self._pending = []
+        global_registry().histogram(
+            "memsys.drain_batch_ops").observe(len(pending))
         nonbilinear = self._nonbilinear
         self._nonbilinear = set()
 

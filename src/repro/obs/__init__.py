@@ -20,11 +20,48 @@ quantities become first-class, without perturbing what they measure:
   feed the simulated cycle or energy models.
 * :mod:`repro.obs.log` — logging configuration and the CLI output
   helper honoring ``-v/--verbose`` and ``-q/--quiet``.
+* :mod:`repro.obs.events` — the structured event bus: typed run/phase/
+  tile/metric/fault events with monotonic sequence numbers and a JSONL
+  wire form, forwarded from pool workers over the result channel.
+  Subscribers (``--live`` terminal progress, ``--events`` JSONL log,
+  tracer/metrics consumers) are one-way by construction.
+* :mod:`repro.obs.ledger` — the persistent run ledger under
+  ``.repro_ledger/``: append-only history of every run/figure/bench
+  invocation, with drift detection (``repro ledger check``).
+* :mod:`repro.obs.dashboard` — renders the ledger (plus optional event
+  and metrics logs) into one self-contained HTML page
+  (``repro dashboard``).
+* :mod:`repro.obs.live` — the live terminal renderer behind ``--live``.
 
 Nothing in here is imported on the simulator's per-fragment hot path;
 span emission happens at frame / phase / command / tile granularity.
 """
 
+from .events import (
+    EVENT_SCHEMA_VERSION,
+    EventBus,
+    EventForwardingCall,
+    FaultInjected,
+    JsonlEventWriter,
+    MetricSample,
+    MetricsSubscriber,
+    NULL_BUS,
+    NullBus,
+    PhaseCompleted,
+    RunFinished,
+    RunStarted,
+    TileJobFinished,
+    TracerSubscriber,
+    event_from_wire,
+    get_bus,
+    publishing,
+    read_event_log,
+    replay_forwarded,
+    set_bus,
+    to_wire,
+)
+from .ledger import PhaseAccumulator, RunLedger, resolve_ledger_dir
+from .live import LiveRenderer
 from .log import Output, get_logger, setup_logging, verbosity_from_flags
 from .metrics import (
     Counter,
@@ -75,4 +112,29 @@ __all__ = [
     "get_tracer",
     "set_tracer",
     "tracing",
+    "EVENT_SCHEMA_VERSION",
+    "EventBus",
+    "EventForwardingCall",
+    "FaultInjected",
+    "JsonlEventWriter",
+    "MetricSample",
+    "MetricsSubscriber",
+    "NULL_BUS",
+    "NullBus",
+    "PhaseCompleted",
+    "RunFinished",
+    "RunStarted",
+    "TileJobFinished",
+    "TracerSubscriber",
+    "event_from_wire",
+    "get_bus",
+    "publishing",
+    "read_event_log",
+    "replay_forwarded",
+    "set_bus",
+    "to_wire",
+    "PhaseAccumulator",
+    "RunLedger",
+    "resolve_ledger_dir",
+    "LiveRenderer",
 ]

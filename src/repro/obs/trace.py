@@ -25,6 +25,7 @@ simulation, so enabling it cannot change any simulated result.
 
 from __future__ import annotations
 
+import atexit
 import json
 import time
 from typing import IO, Any, Dict, Iterator, List, Optional, Union
@@ -111,6 +112,8 @@ class ChromeTracer:
         self.events: List[Dict[str, Any]] = []
         self._epoch = time.perf_counter()
         self._tracks: Dict[str, int] = {}
+        self._flush_path: Optional[str] = None
+        self._atexit_armed = False
 
     # -- tracks and time ----------------------------------------------------
 
@@ -175,6 +178,34 @@ class ChromeTracer:
                 json.dump(self.export(), handle)
         else:
             json.dump(self.export(), file)
+
+    # -- crash durability ----------------------------------------------------
+
+    def arm_flush(self, path: str) -> None:
+        """Make the buffered trace crash-durable: if the process exits —
+        cleanly, on an unhandled exception, or on any signal that still
+        runs ``atexit`` — before :meth:`disarm_flush`, whatever spans
+        have accumulated are written to ``path``.  The buffer always
+        holds only *finished* events, so a partial trace is still valid
+        trace-event JSON."""
+        self._flush_path = path
+        if not self._atexit_armed:
+            self._atexit_armed = True
+            atexit.register(self._flush_at_exit)
+
+    def disarm_flush(self) -> None:
+        """The trace was written normally; the exit hook becomes a no-op."""
+        self._flush_path = None
+
+    def _flush_at_exit(self) -> None:
+        path = self._flush_path
+        self._flush_path = None
+        if path is None:
+            return
+        try:
+            self.write(path)
+        except Exception:  # noqa: BLE001 - last-gasp flush, never raise
+            pass
 
     # -- analysis (used by ``repro profile``) --------------------------------
 

@@ -9,6 +9,7 @@ per-frame statistics, memory snapshots and the rendered images.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Union
 
@@ -27,6 +28,7 @@ from ..hw.lgt import LayerGeneratorTable
 from ..hw.parameter_buffer import ParameterBuffer
 from ..kernels import normalize_backend
 from ..memsys import create_memory_system
+from ..obs.events import PhaseCompleted, cache_ops_of, get_bus
 from ..obs.trace import get_tracer
 from ..timing import CostModel, CostParameters, FrameStats, StatsAccumulator
 from ..energy import EnergyBreakdown, EnergyModel, EnergyParameters
@@ -311,24 +313,40 @@ class GPU:
         config = self.config
         stats = FrameStats()
         tracer = get_tracer()
+        bus = get_bus()
         self.parameter_buffer.reset()
         if self.lgt is not None:
             self.lgt.reset()
 
         # -- Geometry Pipeline --
         self.memory.reset_stats()
+        phase_start = time.perf_counter()
         with tracer.span("geometry", category="phase", frame=frame.index):
             self.geometry.process_frame(frame, stats)
         geometry_instr = self.memory.instrumentation()
+        if bus.enabled:
+            bus.emit(PhaseCompleted(
+                phase="geometry", frame=frame.index,
+                seconds=time.perf_counter() - phase_start,
+                cache_ops=cache_ops_of(geometry_instr),
+            ))
 
         # -- Raster Pipeline --
         self.memory.reset_stats()
         image = np.zeros((config.screen_height, config.screen_width, 4))
         image[:, :] = np.array(config.clear_color)
+        phase_start = time.perf_counter()
         with tracer.span("raster", category="phase", frame=frame.index):
             self.raster.render_frame(image, self._previous_image, stats)
         self.memory.end_frame()
         raster_instr = self.memory.instrumentation()
+        if bus.enabled:
+            bus.emit(PhaseCompleted(
+                phase="raster", frame=frame.index,
+                seconds=time.perf_counter() - phase_start,
+                fragments=stats.fragments_shaded,
+                cache_ops=cache_ops_of(raster_instr),
+            ))
 
         # -- end of frame --
         if self.re is not None:

@@ -61,6 +61,12 @@ from ..errors import (
     ResilienceError,
     WorkerCrashError,
 )
+from ..obs.events import (
+    EventForwardingCall,
+    FaultInjected,
+    ForwardedResult,
+    get_bus,
+)
 from ..obs.log import get_logger
 from ..obs.metrics import global_registry
 from ..obs.trace import get_tracer
@@ -229,15 +235,30 @@ class ResilientScheduler:
         profiler = self.profiler
         if profiler is not None:
             call = profiler.wrap(call)
+        if get_bus().enabled:
+            # Outermost, so buffer install/teardown is outside the
+            # profiler's measured window.
+            call = EventForwardingCall(call, self._parent_pid)
         return call
 
     def _unwrap(self, item: Any, submitted: float, value: Any) -> Any:
-        """Undo profiler wrapping for one job, feeding its timing in."""
+        """Undo :meth:`_call` wrapping for one settled job: replay the
+        worker's forwarded events and feed the profiler its timing."""
+        events: Sequence[Any] = ()
+        if isinstance(value, ForwardedResult):
+            events = value.events
+            value = value.result
         profiler = self.profiler
-        if profiler is None:
-            return value
-        [result] = profiler.collect(submitted, [item], [value])
-        return result
+        if profiler is not None:
+            [value] = profiler.collect(submitted, [item], [value])
+        if events and not isinstance(value, CorruptedResult):
+            # A corrupted attempt is retried; dropping its events keeps
+            # the stream free of duplicate per-attempt telemetry.
+            bus = get_bus()
+            if bus.enabled:
+                for event in events:
+                    bus.emit(event)
+        return value
 
     def _settle(self, index: int, value: Any, results: List[Any],
                 on_result: Optional[Callable[[int, Any], None]]) -> None:
@@ -250,6 +271,7 @@ class ResilientScheduler:
         global_registry().counter(f"resilience.{kind}").inc()
         get_tracer().instant(f"fault:{kind}", category="resilience",
                              key=key, attempt=attempt)
+        get_bus().emit(FaultInjected(key=key, attempt=attempt, fault=kind))
         logger.warning("job %s attempt %d failed (%s): %s",
                        key, attempt, kind, message)
 

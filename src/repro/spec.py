@@ -17,7 +17,8 @@ serializable dataclass tree:
     ├── ``energy``      — :class:`repro.energy.EnergyParameters`
     ├── ``scheduler``   — worker fan-out (``--jobs``)
     ├── ``resilience``  — retries, timeouts, fault plan, resume/strict
-    └── ``obs``         — trace/metrics paths, verbosity
+    └── ``obs``         — trace/metrics/events paths, live progress,
+                          ledger directory, verbosity
 
 Three properties make it the backbone every layer shares:
 
@@ -257,10 +258,20 @@ class ResilienceSpec:
 
 @dataclass(frozen=True)
 class ObsSpec:
-    """Observability options — never result-affecting by contract."""
+    """Observability options — never result-affecting by contract.
+
+    ``events`` streams the structured event bus to a JSONL file and
+    ``live`` renders it as terminal progress (both install an
+    :class:`~repro.obs.events.EventBus` for the invocation).  ``ledger``
+    overrides the run-ledger directory (default ``.repro_ledger/`` /
+    ``REPRO_LEDGER_DIR``); ``"off"`` disables ledger recording.
+    """
 
     trace: str = ""
     metrics: str = ""
+    events: str = ""
+    live: bool = False
+    ledger: str = ""
     verbose: bool = False
     quiet: bool = False
 
@@ -270,6 +281,10 @@ class ObsSpec:
 
     def verbosity(self) -> int:
         return verbosity_from_flags(self.verbose, self.quiet)
+
+    def wants_bus(self) -> bool:
+        """Whether this invocation should install a live event bus."""
+        return bool(self.events or self.live)
 
 
 def _default_gpu() -> GPUConfig:
@@ -860,6 +875,10 @@ def cli_layer_from_args(args: Any) -> Dict[str, Any]:
 
     put("obs", "trace", getattr(args, "trace", None))
     put("obs", "metrics", getattr(args, "metrics", None))
+    put("obs", "events", getattr(args, "events", None))
+    put("obs", "ledger", getattr(args, "ledger", None))
+    if getattr(args, "live", False):
+        put("obs", "live", True)
     if getattr(args, "verbose", False):
         put("obs", "verbose", True)
     if getattr(args, "quiet", False):

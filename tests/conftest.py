@@ -15,6 +15,13 @@ from repro.geom import quad, screen_quad
 from repro.math3d import Mat4, Vec3, Vec4, orthographic
 
 
+@pytest.fixture(autouse=True)
+def _isolated_ledger(tmp_path, monkeypatch):
+    """Point the run ledger at a per-test directory so CLI tests never
+    append to (or read) a developer's real ``.repro_ledger/``."""
+    monkeypatch.setenv("REPRO_LEDGER_DIR", str(tmp_path / "test_ledger"))
+
+
 @pytest.fixture
 def tiny_config() -> GPUConfig:
     """64x48 screen -> 4x3 tiles, 4 frames."""

@@ -288,3 +288,93 @@ class TestResilienceFlags:
         resumed = capsys.readouterr().out
         assert "cells resumed" in resumed
         assert first.splitlines()[:6] == resumed.splitlines()[:6]
+
+
+class TestEventBusCli:
+    """`--live` / `--events` through the CLI: ordered streams, plain-line
+    fallback, and the headline acceptance check — a fully observed
+    ProcessPool run is bit-identical to a bare run."""
+
+    SMALL = ["--frames", "2", "--width", "64", "--height", "48"]
+
+    def test_parser_accepts_bus_flags(self):
+        args = build_parser().parse_args(
+            ["run", "cde", "--live", "--events", "e.jsonl",
+             "--ledger", "off"])
+        assert args.live and args.events == "e.jsonl"
+        assert args.ledger == "off"
+        spec = spec_from_args(args).spec
+        assert spec.obs.live and spec.obs.events == "e.jsonl"
+        assert spec.obs.wants_bus()
+
+    def test_bus_flags_do_not_change_spec_hash(self):
+        bare = spec_from_args(build_parser().parse_args(
+            ["run", "cde"])).spec
+        observed = spec_from_args(build_parser().parse_args(
+            ["run", "cde", "--live", "--events", "e.jsonl"])).spec
+        assert bare.spec_hash() == observed.spec_hash()
+
+    def test_live_plain_fallback_lines(self, capsys):
+        assert main(["run", "hop", "--modes", "evr", "--live",
+                     "--ledger", "off"] + self.SMALL) == 0
+        captured = capsys.readouterr()
+        # Progress goes to stderr (plain lines when not a TTY); the
+        # result table stays alone on stdout.
+        assert "start  hop:evr" in captured.err
+        assert "done   hop:evr" in captured.err
+        assert "frag/s" in captured.err and "cache-ops/s" in captured.err
+        assert "geom cyc" in captured.out
+
+    def test_events_stream_is_ordered_and_complete(self, tmp_path,
+                                                   capsys):
+        path = str(tmp_path / "events.jsonl")
+        assert main(["run", "hop", "--modes", "evr", "--events", path,
+                     "--ledger", "off"] + self.SMALL) == 0
+        with open(path) as handle:
+            records = [json.loads(line) for line in handle]
+        seqs = [r["seq"] for r in records]
+        assert seqs == sorted(seqs) and len(set(seqs)) == len(seqs)
+        kinds = {r["kind"] for r in records}
+        assert {"run-started", "phase-completed", "tile-job-finished",
+                "run-finished"} <= kinds
+
+    def test_pool_figure_bit_identical_with_full_observability(
+            self, tmp_path, monkeypatch, capsys):
+        argv = ["figure", "fig9", "--benchmarks", "hop", "--jobs", "2"] \
+            + self.SMALL
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "bare"))
+        assert main(argv + ["--ledger", "off"]) == 0
+        bare = capsys.readouterr().out
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "observed"))
+        events = str(tmp_path / "e.jsonl")
+        metrics = str(tmp_path / "m.jsonl")
+        assert main(argv + ["--live", "--events", events,
+                            "--metrics", metrics,
+                            "--ledger", str(tmp_path / "ledger")]) == 0
+        observed = capsys.readouterr().out
+        # The figure table is the tail of the quiet output in both runs.
+        assert bare.splitlines()[:4] == observed.splitlines()[:4]
+        # Worker events crossed the result channel in order.
+        with open(events) as handle:
+            records = [json.loads(line) for line in handle]
+        assert [r["seq"] for r in records] == \
+            sorted(r["seq"] for r in records)
+        assert any(r["kind"] == "tile-job-finished" and r["worker"]
+                   for r in records)
+        # And the run was ledgered with measured phase timings.
+        from repro.obs.ledger import RunLedger
+        entries = RunLedger(str(tmp_path / "ledger")).entries()
+        assert len(entries) == 3
+        assert any(entry["phases"].get("raster", 0) > 0
+                   for entry in entries)
+
+    def test_bench_records_ledger_entry(self, tmp_path, capsys,
+                                        monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        ledger_dir = str(tmp_path / "ledger")
+        assert main(["bench", "--preset", "tiny", "--repeat", "1",
+                     "--backends", "numpy",
+                     "--ledger", ledger_dir, "-q"]) == 0
+        from repro.obs.ledger import RunLedger
+        entries = RunLedger(ledger_dir).entries()
+        assert len(entries) == 1 and entries[0]["kind"] == "bench"

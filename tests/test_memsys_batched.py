@@ -22,6 +22,7 @@ from repro.config import CacheConfig
 from repro.memsys import BatchedMemorySystem, MemorySystem
 from repro.memsys.batched import _LaneLRU
 from repro.memsys.cache import Cache
+from repro.obs.metrics import global_registry
 from repro.memsys.ops import (
     EndFrameOp,
     FBLoadOp,
@@ -279,3 +280,47 @@ class TestDrainBoundaries:
                 memory.framebuffer_flush(0)
         # Nothing leaked into the counters on either side.
         assert _observe(scalar) == _observe(batched)
+
+
+class TestBatchingTelemetry:
+    """The batched model reports its vectorization quality to the
+    global metrics registry (surfaced via ``--metrics`` and the
+    dashboard's memsys panel) without perturbing simulation."""
+
+    def setup_method(self):
+        global_registry().reset()
+
+    def test_drain_batch_sizes_are_observed(self):
+        batched = BatchedMemorySystem(GPUConfig.default())
+        for vertex in range(5):
+            batched.fetch_vertex(vertex)
+        batched.snapshot()  # forces one drain of 5 pending ops
+        summary = global_registry().as_dict()
+        histogram = summary["histograms"]["memsys.drain_batch_ops"]
+        assert histogram["count"] == 1
+        assert histogram["max"] >= 5
+
+    def test_lane_collapse_counters(self):
+        batched = BatchedMemorySystem(GPUConfig.default())
+        # Same vertex fetched repeatedly: consecutive same-line accesses
+        # collapse into runs inside one lane.
+        for _ in range(8):
+            batched.fetch_vertex(0)
+        batched.snapshot()
+        counters = global_registry().as_dict()["counters"]
+        assert counters["memsys.line_accesses"] >= 8
+        assert counters["memsys.collapsed_runs"] >= 1
+        assert counters["memsys.batch_lanes"] >= 1
+        assert "memsys.scalar_tail_lanes" in counters
+
+    def test_telemetry_never_changes_results(self):
+        config = GPUConfig.default()
+        first = BatchedMemorySystem(config)
+        for vertex in range(32):
+            first.fetch_vertex(vertex % 7)
+        baseline = _observe(first)
+        global_registry().reset()
+        second = BatchedMemorySystem(config)
+        for vertex in range(32):
+            second.fetch_vertex(vertex % 7)
+        assert _observe(second) == baseline

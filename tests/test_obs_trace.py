@@ -12,6 +12,9 @@ overlapping — with the ``frame ⊇ phase ⊇ tile`` chain present.
 from __future__ import annotations
 
 import json
+import os
+
+import pytest
 
 from repro.config import GPUConfig
 from repro.obs import (
@@ -187,3 +190,131 @@ class TestGoldenTrace:
         executes = [e for e in self.events
                     if e.get("cat") == "raster" and e["name"] == "execute"]
         assert len(tiles) == sum(e["args"]["tiles"] for e in executes)
+
+
+class TestGoldenTraceReduce:
+    """The ``frame → raster → reduce-replay/reduce-finalize`` chain must
+    nest correctly under both kernel backends, with non-negative self
+    time everywhere (children never exceed their parent's wall time)."""
+
+    @staticmethod
+    def render_events(backend):
+        config = GPUConfig.tiny(frames=2)
+        tracer = ChromeTracer()
+        with tracing(tracer):
+            stream = benchmark_stream("hop", config)
+            GPU(config, PipelineMode.EVR,
+                backend=backend).render_stream(stream)
+        return tracer.export()["traceEvents"]
+
+    def assert_reduce_chain(self, events):
+        spans = [e for e in events if e.get("ph") == "X"]
+        frames = [e for e in spans if e.get("cat") == "frame"]
+        rasters = [e for e in spans
+                   if e.get("cat") == "phase" and e["name"] == "raster"]
+        reduces = [e for e in spans
+                   if e.get("cat") == "raster" and e["name"] == "reduce"]
+        replays = [e for e in spans
+                   if e.get("cat") == "raster"
+                   and e["name"] == "reduce-replay"]
+        finalizes = [e for e in spans
+                     if e.get("cat") == "raster"
+                     and e["name"] == "reduce-finalize"]
+        # One reduce (with both sub-loops) per rendered frame.
+        assert len(frames) == 2
+        assert len(reduces) == len(replays) == len(finalizes) == 2
+        for raster in rasters:
+            assert any(_contained(raster, frame) for frame in frames)
+        for reduce_span in reduces:
+            assert any(_contained(reduce_span, raster)
+                       for raster in rasters)
+        for child in replays + finalizes:
+            assert any(_contained(child, reduce_span)
+                       for reduce_span in reduces)
+        # Self time: within each reduce, the two sub-loops never sum to
+        # more than the parent's wall time (they are disjoint siblings).
+        for reduce_span in reduces:
+            children = [c for c in replays + finalizes
+                        if _contained(c, reduce_span)]
+            assert sum(c["dur"] for c in children) <= reduce_span["dur"]
+
+    def test_numpy_backend(self):
+        self.assert_reduce_chain(self.render_events("numpy"))
+
+    def test_python_backend(self):
+        self.assert_reduce_chain(self.render_events("python"))
+
+
+class TestFlushOnCrash:
+    """Satellite contract: a run that dies mid-way still leaves valid
+    observability artifacts on disk."""
+
+    def test_arm_flush_writes_at_exit(self, tmp_path):
+        tracer = ChromeTracer()
+        with tracer.span("work", category="test"):
+            pass
+        path = str(tmp_path / "crash.json")
+        tracer.arm_flush(path)
+        tracer._flush_at_exit()  # what atexit would run
+        with open(path) as handle:
+            trace = json.load(handle)
+        assert any(e.get("name") == "work"
+                   for e in trace["traceEvents"])
+
+    def test_flush_at_exit_is_one_shot(self, tmp_path):
+        tracer = ChromeTracer()
+        path = str(tmp_path / "crash.json")
+        tracer.arm_flush(path)
+        tracer._flush_at_exit()
+        os.remove(path)
+        tracer._flush_at_exit()  # armed path consumed: no rewrite
+        assert not os.path.exists(path)
+
+    def test_disarm_flush_cancels_backstop(self, tmp_path):
+        tracer = ChromeTracer()
+        path = str(tmp_path / "crash.json")
+        tracer.arm_flush(path)
+        tracer.disarm_flush()
+        tracer._flush_at_exit()
+        assert not os.path.exists(path)
+
+    def test_trace_written_when_command_raises(self, tmp_path,
+                                               monkeypatch, capsys):
+        # An exception escaping the command still leaves the partial
+        # trace on disk as valid JSON (the finally path).
+        import repro.cli as cli
+
+        def explode(runner, subset):
+            with get_tracer().span("doomed", category="test"):
+                raise RuntimeError("mid-run crash")
+
+        monkeypatch.setitem(cli._FIGURES, "fig9", explode)
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        path = str(tmp_path / "partial.json")
+        with pytest.raises(RuntimeError):
+            cli.main(["figure", "fig9", "--trace", path,
+                      "--frames", "2", "--width", "64", "--height", "48"])
+        with open(path) as handle:
+            trace = json.load(handle)
+        assert any(e.get("name") == "doomed"
+                   for e in trace["traceEvents"])
+
+    def test_faulted_run_leaves_valid_trace_and_event_log(self, tmp_path,
+                                                          monkeypatch,
+                                                          capsys):
+        import repro.cli as cli
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        trace_path = str(tmp_path / "faulted.json")
+        events_path = str(tmp_path / "faulted.jsonl")
+        assert cli.main(
+            ["figure", "fig9", "--benchmarks", "hop",
+             "--inject-faults", "raise:1.0", "--retries", "1",
+             "--trace", trace_path, "--events", events_path,
+             "--frames", "2", "--width", "64", "--height", "48"]
+        ) == 0  # graceful degradation
+        with open(trace_path) as handle:
+            json.load(handle)  # valid JSON despite every cell failing
+        from repro.obs.events import read_event_log
+        events = read_event_log(events_path)
+        assert any(e.kind == "fault-injected" for e in events)
