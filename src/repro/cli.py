@@ -10,10 +10,19 @@ Subcommands:
 * ``report`` — paper-vs-measured markdown report (EXPERIMENTS.md body).
 * ``profile`` — run one benchmark under the profiler and print where the
   wall-clock time went (phases, jobs, worker occupancy).
-* ``validate`` — cross-mode pixel-equality and invariant checks.
+* ``validate`` — cross-mode pixel-equality and invariant checks;
+  ``--backends`` adds backend bit-identity to the same report.
+* ``trace`` — record a benchmark or stress family to a portable
+  command-trace file, or replay a trace through validation (with a
+  serialization round-trip bit-identity check).
+* ``corpus`` — adversarial stress corpus: ``build`` serialized trace
+  families, ``list`` them, ``replay`` them through the differential
+  validation gate (all modes × all backends), shrinking and
+  quarantining any violation.
 * ``bench`` — measure backend throughput; ``--history`` prints the
   ledger's speedup trajectory.
-* ``cache`` — inspect or clear the persistent run cache.
+* ``cache`` — inspect or clear the persistent run cache; ``gc`` prunes
+  the quarantine directory to its newest entries.
 * ``ledger`` — list/show/diff/gc the persistent run ledger; ``check``
   exits non-zero when the newest entries drift from the ledger median.
 * ``dashboard`` — render the ledger as one self-contained HTML page.
@@ -66,6 +75,7 @@ from __future__ import annotations
 
 import argparse
 import atexit
+import io
 import json
 import os
 import sys
@@ -74,9 +84,24 @@ from contextlib import ExitStack, contextmanager
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from . import __version__
+from .commands import FrameStream
+from .commands.trace import load_trace, save_trace
+from .corpus import (
+    DEFAULT_MAX_EVALS,
+    MANIFEST_NAME,
+    build_corpus,
+    family_names,
+    family_stream,
+    get_family,
+    load_corpus,
+    make_pixel_corruptor,
+    read_manifest,
+    replay_families,
+)
+from .config import GPUConfig
 from .engine import DiskCache, default_cache_dir, make_scheduler
-from .engine.diskcache import run_cache_key
-from .errors import ConfigError, SpecError
+from .engine.diskcache import DEFAULT_QUARANTINE_KEEP, run_cache_key
+from .errors import CommandError, ConfigError, CorpusError, SpecError
 from .harness import (
     ablation_draw_order,
     ablation_history,
@@ -147,6 +172,7 @@ from .spec import (
     preset_names,
     spec_from_args,
 )
+from .validate import _MODES as _ALL_MODES
 from .validate import validate_stream
 
 _FIGURES = {
@@ -231,17 +257,32 @@ def _add_jobs_argument(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_backends_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--backends", nargs="+", default=None,
+        choices=available_backends(), metavar="BACKEND",
+        help="kernel backends to render under; two or more make the "
+             "validation differential (every mode × backend image is "
+             "compared against the first backend's baseline). "
+             "corpus replay defaults to all available backends",
+    )
+
+
 def _add_resilience_arguments(parser: argparse.ArgumentParser,
                               suite: bool = False) -> None:
     """Fault-tolerance flags (see :mod:`repro.resilience`).
 
-    ``suite`` adds the checkpoint/exit-code flags that only make sense
-    for suite sweeps (``figure``, ``report``).
+    ``--strict`` is available everywhere and always resolves to the one
+    ``resilience.strict`` spec field (one exit-code contract: 0 clean,
+    1 failure/violation, 2 usage error); ``suite`` adds only the
+    checkpoint-journal flag that is meaningless outside suite sweeps
+    (``figure``, ``report``).
     """
     parser.add_argument(
         "--inject-faults", default=None, metavar="SPEC",
         help="deterministic fault injection, e.g. 'crash:0.2,hang:0.1' "
-             "(kinds: raise, corrupt, hang, crash; default: $REPRO_FAULTS)",
+             "(kinds: raise, corrupt, hang, crash, pixel; "
+             "default: $REPRO_FAULTS)",
     )
     parser.add_argument(
         "--fault-seed", type=int, default=None, metavar="N",
@@ -257,16 +298,17 @@ def _add_resilience_arguments(parser: argparse.ArgumentParser,
         help="per-job wall-clock timeout under a process pool "
              "(arms the resilient scheduler)",
     )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="fail hard: suite sweeps exit non-zero on permanently "
+             "failed cells; corpus replay stops at the first violating "
+             "family (violations always exit 1 either way)",
+    )
     if suite:
         parser.add_argument(
             "--resume", action="store_true",
             help="replay completed (benchmark, mode) cells from the "
                  "checkpoint journal instead of recomputing them",
-        )
-        parser.add_argument(
-            "--strict", action="store_true",
-            help="exit non-zero if any suite cell failed permanently "
-                 "(default: complete with the cell marked failed)",
         )
 
 
@@ -333,9 +375,12 @@ def _resolve(args: argparse.Namespace
     return resolved, spec, Output(verbosity)
 
 
-def _report_failures(runner: SuiteRunner, out: Output) -> int:
+def _report_failures(runner: SuiteRunner, out: Output,
+                     strict: bool) -> int:
     """Print any permanently failed cells; the exit code honours
-    ``--strict`` (graceful degradation otherwise)."""
+    ``strict`` — always the resolved ``resilience.strict`` spec field,
+    never an attribute sniffed off the runner (graceful degradation
+    otherwise)."""
     if not runner.failures:
         return 0
     for (benchmark, mode), failure in sorted(
@@ -343,7 +388,6 @@ def _report_failures(runner: SuiteRunner, out: Output) -> int:
     ):
         out.result(f"FAILED {benchmark}:{mode.value} "
                    f"after {failure.attempts} attempt(s): {failure.message}")
-    strict = getattr(runner, "strict", False)
     out.result(f"{len(runner.failures)} suite cell(s) failed permanently"
                + ("" if strict else " (exit 0; use --strict to fail)"))
     return 1 if strict else 0
@@ -629,7 +673,7 @@ def _command_figure(args: argparse.Namespace) -> int:
                 records.append({"record": "registry",
                                 **global_registry().as_dict()})
                 _write_metrics(records, spec.obs.metrics, out)
-            status = _report_failures(runner, out)
+            status = _report_failures(runner, out, spec.resilience.strict)
         _ledger_record_suite(spec, runner, session, out, source="figure")
     return status
 
@@ -680,7 +724,7 @@ def _command_report(args: argparse.Namespace) -> int:
         records.insert(0, spec_record(spec))
         records.append({"record": "registry", **global_registry().as_dict()})
         _write_metrics(records, spec.obs.metrics, out)
-    return _report_failures(runner, out)
+    return _report_failures(runner, out, spec.resilience.strict)
 
 
 def _command_profile(args: argparse.Namespace) -> int:
@@ -749,6 +793,10 @@ def _command_cache(args: argparse.Namespace) -> int:
     if args.action == "clear":
         removed = cache.clear()
         out.result(f"removed {removed} cached runs ({cache.directory})")
+    elif args.action == "gc":
+        kept, removed = cache.gc_quarantine(args.keep)
+        out.result(f"quarantine gc: kept {kept}, removed {removed} "
+                   f"(newest {args.keep}, {cache.quarantine_dir()})")
     else:  # info
         out.result(f"cache directory: {cache.directory}")
         out.result(f"cached runs: {cache.size()}")
@@ -893,9 +941,206 @@ def _command_validate(args: argparse.Namespace) -> int:
     resolved, spec, out = _resolve(args)
     config = spec.gpu
     stream = benchmark_stream(args.benchmark, config)
-    report = validate_stream(stream, config)
+    corruptor = make_pixel_corruptor(spec.resilience.fault_plan(),
+                                     args.benchmark)
+    report = validate_stream(stream, config, backends=args.backends,
+                             corruptor=corruptor)
     out.result(report.render())
     return 0 if report.passed else 1
+
+
+def _encode_stream(stream: FrameStream) -> str:
+    """The stream's canonical trace serialization, as a string."""
+    buffer = io.StringIO()
+    save_trace(stream, buffer)
+    return buffer.getvalue()
+
+
+def _command_trace(args: argparse.Namespace) -> int:
+    resolved, spec, out = _resolve(args)
+    config = spec.gpu
+
+    if args.action == "record":
+        target = args.target
+        if target in BENCHMARKS:
+            stream = benchmark_stream(target, config)
+        elif target in family_names():
+            stream = family_stream(target, config)
+        else:
+            raise SpecError(
+                f"unknown trace source {target!r}: not a benchmark "
+                f"({', '.join(sorted(BENCHMARKS))}) and not a stress "
+                f"family ({', '.join(family_names())})"
+            )
+        path = args.output or f"{target}.trace.json"
+        save_trace(stream, path)
+        # Round-trip bit-identity: the trace must decode to a stream
+        # that re-encodes to the exact same bytes, or the file is not a
+        # faithful capture.
+        with open(path) as handle:
+            reloaded = load_trace(handle)
+        if _encode_stream(reloaded) != _encode_stream(stream):
+            out.result(f"round-trip MISMATCH: {path} does not re-encode "
+                       f"bit-identically; do not trust this capture")
+            return 1
+        frames = list(stream)
+        draws = sum(len(frame.commands) for frame in frames)
+        out.result(f"recorded {target}: {len(frames)} frames, {draws} "
+                   f"draws -> {path} (round-trip bit-identical)")
+        return 0
+
+    # replay
+    if not os.path.exists(args.target):
+        raise SpecError(f"no trace file at {args.target!r}")
+    stream = load_trace(args.target)
+    encoded = _encode_stream(stream)
+    if _encode_stream(load_trace(io.StringIO(encoded))) != encoded:
+        out.result(f"round-trip MISMATCH: {args.target} decodes to a "
+                   f"stream that does not re-encode bit-identically")
+        return 1
+    out.detail(f"replaying {args.target}: {len(stream)} frames "
+               f"(round-trip bit-identical)")
+    # The filename stem doubles as the fault-plan key, so a quarantined
+    # corpus repro (`<family>.trace.json`) replayed with the violation
+    # report's fault spec damages the exact same pixels and reproduces
+    # the violation standalone.
+    stem = os.path.basename(args.target).split(".")[0]
+    corruptor = make_pixel_corruptor(spec.resilience.fault_plan(), stem)
+    report = validate_stream(stream, config, backends=args.backends,
+                             corruptor=corruptor)
+    out.result(report.render())
+    return 0 if report.passed else 1
+
+
+def _command_corpus(args: argparse.Namespace) -> int:
+    resolved, spec, out = _resolve(args)
+
+    if args.action == "list":
+        directory = args.dir
+        if directory and os.path.exists(
+                os.path.join(directory, MANIFEST_NAME)):
+            manifest = read_manifest(directory)
+            records = manifest.get("families", {})
+            gpu = manifest.get("gpu", {})
+            rows = [
+                [name, record["frames"], record["draws"],
+                 record["triangles"], record["seed"],
+                 str(record["sha256"])[:12], record["adversary"]]
+                for name, record in sorted(records.items())
+            ]
+            out.result(format_table(
+                ["family", "frames", "draws", "tris", "seed", "sha256",
+                 "adversary"],
+                rows,
+                title=f"corpus at {directory} "
+                      f"({gpu.get('screen_width')}x"
+                      f"{gpu.get('screen_height')}, "
+                      f"{gpu.get('frames')} frames)",
+            ))
+        else:
+            rows = [
+                [family.name, family.default_seed, family.adversary,
+                 family.description]
+                for family in (get_family(name) for name in family_names())
+            ]
+            out.result(format_table(
+                ["family", "seed", "adversary", "stresses"], rows,
+                title="registered stress families",
+            ))
+        return 0
+
+    if args.action == "build":
+        directory = args.dir or os.path.join("corpus", "tiny")
+        config = spec.gpu
+        manifest = build_corpus(directory, config, names=args.families,
+                                seed=args.seed)
+        records = manifest["families"]
+        frames = sum(record["frames"] for record in records.values())
+        draws = sum(record["draws"] for record in records.values())
+        out.result(f"built {len(records)} families ({frames} frames, "
+                   f"{draws} draws) at {config.screen_width}x"
+                   f"{config.screen_height} -> {directory}")
+        return 0
+
+    # replay: the differential gate.
+    if args.dir:
+        streams, manifest = load_corpus(args.dir, names=args.families)
+        gpu = manifest["gpu"]
+        # Replay under the configuration the corpus was generated for,
+        # not whatever the local spec happens to resolve to.
+        config = GPUConfig(screen_width=gpu["screen_width"],
+                           screen_height=gpu["screen_height"],
+                           frames=gpu["frames"])
+        source = args.dir
+    else:
+        config = spec.gpu
+        names = list(args.families) if args.families else list(family_names())
+        streams = {name: family_stream(name, config, seed=args.seed)
+                   for name in names}
+        source = "generated in-memory"
+    backends = list(args.backends) if args.backends \
+        else list(available_backends())
+    plan = spec.resilience.fault_plan()
+    cache = DiskCache(default_cache_dir())
+    quarantine = args.quarantine or os.path.join(cache.quarantine_dir(),
+                                                 "corpus")
+    out.detail(f"corpus replay: {len(streams)} families ({source}), "
+               f"backends {', '.join(backends)}"
+               + (f", faults {plan.describe()}" if plan is not None else ""))
+    global_registry().reset()
+    with ExitStack() as stack:
+        stack.enter_context(
+            _command_bus(spec.obs.events, spec.obs.live, out))
+        results = replay_families(
+            streams, config,
+            backends=backends,
+            fault_plan=plan,
+            quarantine_dir=quarantine,
+            strict=spec.resilience.strict,
+            shrink=args.shrink,
+            max_shrink_evals=args.max_shrink_evals,
+        )
+    rows = []
+    for result in results:
+        shrink_note = ""
+        if result.shrunk is not None:
+            shrunk = result.shrunk
+            shrink_note = (f"{shrunk.original_frames}f/"
+                           f"{shrunk.original_draws}d -> "
+                           f"{shrunk.frames}f/{shrunk.draws}d")
+        rows.append([
+            result.family, result.frames, len(result.report.checks),
+            len(result.report.failures), f"{result.seconds:.2f}",
+            "ok" if result.passed else "VIOLATION", shrink_note,
+        ])
+    out.result(format_table(
+        ["family", "frames", "checks", "failed", "sec", "status",
+         "shrunk"],
+        rows,
+        title=f"corpus replay: {len(results)} families x "
+              f"{len(backends)} backend(s)",
+    ))
+    failed = [result for result in results if not result.passed]
+    for result in failed:
+        for failure in result.report.failures:
+            out.result(f"  {result.family}: {failure}")
+        if result.trace_path:
+            out.result(f"  quarantined repro: {result.trace_path} "
+                       f"(+ {os.path.basename(result.report_path)})")
+    if failed:
+        if not args.quarantine:
+            # The corpus quarantine lives under the disk cache's
+            # quarantine directory and shares its retention cap.
+            cache.gc_quarantine()
+        skipped = len(streams) - len(results)
+        out.result(f"{len(failed)} of {len(results)} families violated "
+                   f"contracts"
+                   + (f" ({skipped} not replayed under --strict)"
+                      if skipped else ""))
+        return 1
+    out.result(f"all {len(results)} families passed "
+               f"({', '.join(backends)})")
+    return 0
 
 
 def _spec_ref(ref: str) -> RunSpec:
@@ -1106,13 +1351,21 @@ def build_parser() -> argparse.ArgumentParser:
     _add_ledger_argument(bench_parser)
 
     cache_parser = subparsers.add_parser(
-        "cache", help="inspect or clear the persistent run cache",
+        "cache",
+        help="inspect or clear the persistent run cache; gc prunes the "
+             "quarantine directory",
         parents=[output_flags],
     )
-    cache_parser.add_argument("action", choices=("info", "clear"))
+    cache_parser.add_argument("action", choices=("info", "clear", "gc"))
     cache_parser.add_argument(
         "--dir", default="",
         help="cache directory (default: $REPRO_CACHE_DIR or .repro_cache)",
+    )
+    cache_parser.add_argument(
+        "--keep", type=int, default=DEFAULT_QUARANTINE_KEEP, metavar="N",
+        help="for gc: newest quarantined files kept — corrupt cache "
+             "entries and corpus violation repros alike "
+             f"(default {DEFAULT_QUARANTINE_KEEP})",
     )
 
     ledger_parser = subparsers.add_parser(
@@ -1173,8 +1426,77 @@ def build_parser() -> argparse.ArgumentParser:
         parents=[output_flags],
     )
     validate_parser.add_argument("benchmark", choices=sorted(BENCHMARKS))
+    _add_backends_argument(validate_parser)
     _add_spec_arguments(validate_parser)
     _add_config_arguments(validate_parser)
+    _add_resilience_arguments(validate_parser)
+
+    trace_parser = subparsers.add_parser(
+        "trace",
+        help="record a benchmark/stress family to a portable trace "
+             "file, or replay one through cross-mode validation",
+        parents=[output_flags],
+    )
+    trace_parser.add_argument("action", choices=("record", "replay"))
+    trace_parser.add_argument(
+        "target",
+        help="record: a benchmark alias or stress-family name; "
+             "replay: a repro-trace JSON file",
+    )
+    trace_parser.add_argument(
+        "--output", default="", metavar="FILE",
+        help="record: trace path (default <target>.trace.json)",
+    )
+    _add_backends_argument(trace_parser)
+    _add_spec_arguments(trace_parser)
+    _add_config_arguments(trace_parser)
+    _add_resilience_arguments(trace_parser)
+
+    corpus_parser = subparsers.add_parser(
+        "corpus",
+        help="adversarial stress corpus: build trace families, list "
+             "them, replay them through the differential gate",
+        parents=[output_flags],
+    )
+    corpus_parser.add_argument("action", choices=("build", "list", "replay"))
+    corpus_parser.add_argument(
+        "--dir", default="", metavar="DIR",
+        help="corpus directory (build default: corpus/tiny; replay "
+             "generates streams in-memory when omitted; list shows the "
+             "registry when omitted)",
+    )
+    corpus_parser.add_argument(
+        "--families", nargs="+", default=None, choices=family_names(),
+        metavar="FAMILY",
+        help="restrict to these stress families (default: all)",
+    )
+    corpus_parser.add_argument(
+        "--seed", type=int, default=None, metavar="N",
+        help="build/in-memory replay: override every family's default "
+             "seed",
+    )
+    _add_backends_argument(corpus_parser)
+    corpus_parser.add_argument(
+        "--quarantine", default="", metavar="DIR",
+        help="where minimized violating traces and violation reports "
+             "land (default: <cache>/quarantine/corpus, bounded by the "
+             "disk-cache quarantine retention cap)",
+    )
+    corpus_parser.add_argument(
+        "--no-shrink", dest="shrink", action="store_false", default=True,
+        help="quarantine the full violating stream without "
+             "delta-debugging it down first",
+    )
+    corpus_parser.add_argument(
+        "--max-shrink-evals", type=int, default=DEFAULT_MAX_EVALS,
+        metavar="N",
+        help="predicate-evaluation budget for the shrinker "
+             f"(default {DEFAULT_MAX_EVALS})",
+    )
+    _add_spec_arguments(corpus_parser)
+    _add_config_arguments(corpus_parser)
+    _add_resilience_arguments(corpus_parser)
+    _add_obs_arguments(corpus_parser)
 
     spec_parser = subparsers.add_parser(
         "spec",
@@ -1207,6 +1529,8 @@ _COMMANDS = {
     "report": _command_report,
     "profile": _command_profile,
     "validate": _command_validate,
+    "trace": _command_trace,
+    "corpus": _command_corpus,
     "bench": _command_bench,
     "cache": _command_cache,
     "ledger": _command_ledger,
@@ -1219,8 +1543,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return _COMMANDS[args.command](args)
-    except ConfigError as error:
-        # SpecError included: a bad spec/flag combination is a usage
+    except (ConfigError, CorpusError, CommandError) as error:
+        # SpecError included: a bad spec/flag combination, an unknown
+        # or tampered corpus, or an unreadable trace file is a usage
         # error, reported cleanly instead of as a traceback.
         print(f"repro: {error}", file=sys.stderr)
         return 2

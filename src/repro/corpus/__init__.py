@@ -1,0 +1,61 @@
+"""The adversarial workload corpus and its differential replay gate.
+
+The paper's evaluation runs 20 well-behaved benchmark scenes; this
+package holds the inputs nobody hand-codes.  It has three layers:
+
+* :mod:`~repro.corpus.families` — named, seeded stress-scene families
+  (degenerate geometry, slivers, particle storms, orbit churn, stereo
+  double-wide, deep depth stacks, hidden motion), each a deterministic
+  :class:`~repro.commands.FrameStream` builder.
+* :mod:`~repro.corpus.store` — serialization to portable on-disk
+  ``repro-trace`` files plus a sha256-pinned manifest.
+* :mod:`~repro.corpus.gate` — the differential replay gate: every
+  stream through :func:`repro.validate.validate_stream` across all
+  pipeline modes x kernel backends, violations shrunk to minimized
+  repro traces (:mod:`~repro.corpus.shrink`) and quarantined with JSON
+  violation reports.
+
+Driven by ``repro corpus build|list|replay`` on the command line; the
+CI ``corpus-gate`` job replays the committed tiny-preset corpus under
+``--strict`` on every push.
+"""
+
+from .families import (
+    FAMILIES,
+    StressFamily,
+    family_names,
+    family_stream,
+    get_family,
+)
+from .gate import FamilyResult, make_pixel_corruptor, replay_families
+from .shrink import DEFAULT_MAX_EVALS, ShrinkOutcome, shrink_stream
+from .store import (
+    CORPUS_FORMAT,
+    CORPUS_VERSION,
+    MANIFEST_NAME,
+    build_corpus,
+    load_corpus,
+    read_manifest,
+    trace_filename,
+)
+
+__all__ = [
+    "CORPUS_FORMAT",
+    "CORPUS_VERSION",
+    "DEFAULT_MAX_EVALS",
+    "FAMILIES",
+    "FamilyResult",
+    "MANIFEST_NAME",
+    "ShrinkOutcome",
+    "StressFamily",
+    "build_corpus",
+    "family_names",
+    "family_stream",
+    "get_family",
+    "load_corpus",
+    "make_pixel_corruptor",
+    "read_manifest",
+    "replay_families",
+    "shrink_stream",
+    "trace_filename",
+]

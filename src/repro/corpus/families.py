@@ -1,0 +1,131 @@
+"""The stress-family registry: named, seeded adversarial workloads.
+
+A :class:`StressFamily` binds a corpus name to one of the deterministic
+builders in :mod:`repro.scenes.stress` plus the default seed the
+committed corpus was generated with.  Families are the corpus's unit of
+everything: one trace file per family on disk, one differential
+validation per family in the replay gate, one quarantined repro per
+violating family.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from ..commands import FrameStream
+from ..config import GPUConfig
+from ..errors import CorpusError
+from ..scenes import stress
+
+FamilyBuilder = Callable[[GPUConfig, int], FrameStream]
+
+
+@dataclass(frozen=True)
+class StressFamily:
+    """One named adversarial workload class.
+
+    Attributes:
+        name: registry key and trace-file stem.
+        description: what the family stresses (shown by ``corpus list``).
+        adversary: the pipeline property it attacks, one short tag.
+        builder: deterministic ``(config, seed) -> FrameStream``.
+        default_seed: seed the committed corpus uses.
+    """
+
+    name: str
+    description: str
+    adversary: str
+    builder: FamilyBuilder
+    default_seed: int = 0
+
+    def stream(self, config: GPUConfig,
+               seed: Optional[int] = None) -> FrameStream:
+        return self.builder(
+            config, self.default_seed if seed is None else seed)
+
+
+def _registry() -> Dict[str, StressFamily]:
+    entries = [
+        StressFamily(
+            "degenerate",
+            "zero-area, collinear, point and off-screen primitives mixed "
+            "with honest movers",
+            adversary="rasterizer edge cases",
+            builder=stress.degenerate_stream,
+            default_seed=11,
+        ),
+        StressFamily(
+            "sliver",
+            "sub-pixel hairline bands and tile-crossing diagonal slivers "
+            "drifting by fractions of a pixel",
+            adversary="conservative coverage",
+            builder=stress.sliver_stream,
+            default_seed=12,
+        ),
+        StressFamily(
+            "particle-storm",
+            "emitters of per-frame-jittering 1-3px quads under a "
+            "translucent ember layer",
+            adversary="binning/blending flood",
+            builder=stress.particle_storm_stream,
+            default_seed=13,
+        ),
+        StressFamily(
+            "orbit-churn",
+            "camera orbiting a full revolution every ~5 frames over a "
+            "box field with a HUD",
+            adversary="RE signature churn",
+            builder=stress.orbit_churn_stream,
+            default_seed=14,
+        ),
+        StressFamily(
+            "stereo",
+            "double-wide frame: the same sprites drawn into both halves "
+            "with a small parallax",
+            adversary="tile indexing / cross-eye redundancy",
+            builder=stress.stereo_stream,
+            default_seed=15,
+        ),
+        StressFamily(
+            "depth-stack",
+            "twelve full-screen depth-tested layers back-to-front with a "
+            "mid-stack mover and a blended veil",
+            adversary="deep depth complexity",
+            builder=stress.depth_stack_stream,
+            default_seed=16,
+        ),
+        StressFamily(
+            "hidden-motion",
+            "sprites jittering under an opaque cover plus one mover "
+            "straddling the cover's edge",
+            adversary="EVR-vs-RE disagreement surface",
+            builder=stress.hidden_motion_stream,
+            default_seed=17,
+        ),
+    ]
+    return {family.name: family for family in entries}
+
+
+FAMILIES: Dict[str, StressFamily] = _registry()
+
+
+def family_names() -> Tuple[str, ...]:
+    """All registered family names, sorted."""
+    return tuple(sorted(FAMILIES))
+
+
+def get_family(name: str) -> StressFamily:
+    try:
+        return FAMILIES[name]
+    except KeyError:
+        raise CorpusError(
+            f"unknown stress family {name!r}; known: "
+            f"{', '.join(family_names())}"
+        ) from None
+
+
+def family_stream(name: str, config: GPUConfig,
+                  seed: Optional[int] = None) -> FrameStream:
+    """Build one family's deterministic frame stream under ``config``."""
+    return get_family(name).stream(config, seed=seed)

@@ -1,0 +1,152 @@
+"""Delta-debugging shrinker: minimize a violating frame stream.
+
+When the differential gate catches a contract violation, the offending
+stream is rarely minimal — a corpus family renders several frames of
+dozens of draw commands each, and the violation usually needs only a
+handful.  :func:`shrink_stream` reduces the stream in two phases while
+re-checking the caller's failure predicate after every cut:
+
+1. **Frames** — binary-search the shortest failing *prefix* of frames.
+   Prefixes (rather than arbitrary subsets) preserve the temporal
+   semantics the contracts depend on: RE and EVR compare each frame
+   against its predecessor, so removing a middle frame changes what
+   "redundant" means, while truncating the tail cannot.
+2. **Draws** — greedy ddmin over draw-command *positions*: try dropping
+   chunks of command indices (applied across every surviving frame so
+   commands keep their cross-frame identity), halving the chunk size
+   until single commands are tried.  Frames must stay non-empty (a
+   :class:`~repro.commands.Frame` rejects an empty command list).
+
+The predicate is evaluated at most ``max_evals`` times — each call
+typically renders the candidate under every (mode, backend) pair, so
+the budget, not asymptotics, is the real cost bound.  The result is
+always verified: if a final check of the minimized stream no longer
+fails (a flaky or non-monotonic predicate), the original stream is
+returned instead — a quarantined repro that does not reproduce would be
+worse than an unminimized one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence
+
+from ..commands import Frame, FrameStream
+
+Predicate = Callable[[FrameStream], bool]
+
+#: Default predicate-evaluation budget.  Each evaluation re-renders the
+#: candidate under every (mode, backend) pair, so this bounds gate
+#: latency on a violation, not memory.
+DEFAULT_MAX_EVALS = 48
+
+
+@dataclass
+class ShrinkOutcome:
+    """What the shrinker achieved for one violating stream."""
+
+    stream: FrameStream
+    frames: int
+    draws: int
+    original_frames: int
+    original_draws: int
+    evals: int
+    minimal: bool  # the final verification re-confirmed the failure
+
+    @property
+    def reduced(self) -> bool:
+        return (self.frames < self.original_frames
+                or self.draws < self.original_draws)
+
+
+def _draw_count(frames: Sequence[Frame]) -> int:
+    return sum(len(frame.commands) for frame in frames)
+
+
+def _rebuild(frames: Sequence[Frame], keep: Sequence[int]) -> List[Frame]:
+    """Frames with only the draw positions in ``keep`` retained (and
+    re-indexed from 0 so the stream stays well-formed)."""
+    kept = set(keep)
+    rebuilt = []
+    for new_index, frame in enumerate(frames):
+        commands = [command for position, command in
+                    enumerate(frame.commands) if position in kept]
+        rebuilt.append(Frame(commands, view=frame.view,
+                             projection=frame.projection, index=new_index))
+    return rebuilt
+
+
+def shrink_stream(stream: FrameStream, still_fails: Predicate,
+                  max_evals: int = DEFAULT_MAX_EVALS) -> ShrinkOutcome:
+    """Minimize ``stream`` while ``still_fails`` keeps returning True.
+
+    Args:
+        stream: the violating stream (fully materialized internally).
+        still_fails: the failure predicate; must be deterministic for
+            the minimization to converge.
+        max_evals: predicate-evaluation budget across both phases.
+    """
+    frames = list(stream)
+    original_frames = len(frames)
+    original_draws = _draw_count(frames)
+    evals = 0
+
+    def check(candidate: List[Frame]) -> bool:
+        nonlocal evals
+        evals += 1
+        return still_fails(FrameStream.from_frames(candidate))
+
+    # Phase 1: shortest failing prefix, by binary search on its length.
+    low, high = 1, len(frames)
+    while low < high and evals < max_evals:
+        mid = (low + high) // 2
+        if check(frames[:mid]):
+            high = mid
+        else:
+            low = mid + 1
+    candidate = frames[:high]
+
+    # Phase 2: ddmin over draw positions, chunked, across all frames.
+    width = max(len(frame.commands) for frame in candidate)
+    keep = list(range(width))
+    chunk = max(1, len(keep) // 2)
+    while chunk >= 1 and evals < max_evals:
+        position = 0
+        progressed = False
+        while position < len(keep) and evals < max_evals:
+            trial = keep[:position] + keep[position + chunk:]
+            rebuilt = (_rebuild(candidate, trial)
+                       if trial and all(
+                           any(p in set(trial)
+                               for p in range(len(frame.commands)))
+                           for frame in candidate)
+                       else None)
+            if rebuilt is not None and check(rebuilt):
+                keep = trial
+                progressed = True
+                # Do not advance: the next chunk slid into `position`.
+            else:
+                position += chunk
+        if chunk == 1 and not progressed:
+            break
+        chunk = max(1, chunk // 2) if chunk > 1 else 0
+
+    minimized = _rebuild(candidate, keep)
+
+    # Verification: the minimized stream must still fail, else fall all
+    # the way back to the original (a repro must reproduce).
+    minimal = True
+    if evals < max_evals:
+        minimal = check(minimized)
+    if not minimal:
+        minimized = frames
+
+    return ShrinkOutcome(
+        stream=FrameStream.from_frames(minimized),
+        frames=len(minimized),
+        draws=_draw_count(minimized),
+        original_frames=original_frames,
+        original_draws=original_draws,
+        evals=evals,
+        minimal=minimal,
+    )

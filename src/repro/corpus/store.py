@@ -1,0 +1,164 @@
+"""Corpus persistence: one trace file per family plus a manifest.
+
+A built corpus directory looks like::
+
+    corpus/tiny/
+    ├── manifest.json            # format, GPU config, per-family records
+    ├── degenerate.trace.json    # repro-trace v1 (repro.commands.trace)
+    ├── sliver.trace.json
+    └── ...
+
+The manifest pins everything needed to regenerate or verify the traces:
+the GPU configuration they were generated under, each family's seed,
+and a sha256 of each trace file so a tampered or bit-rotted corpus is
+rejected at load time instead of producing confusing downstream diffs.
+Trace files themselves are the portable ``repro-trace`` JSON format, so
+any corpus stream can also be fed to ``repro trace replay`` directly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..commands import FrameStream
+from ..commands.trace import load_trace, save_trace
+from ..config import GPUConfig
+from ..errors import CorpusError
+from .families import family_names, get_family
+
+MANIFEST_NAME = "manifest.json"
+CORPUS_FORMAT = "repro-corpus"
+CORPUS_VERSION = 1
+
+
+def trace_filename(family: str) -> str:
+    return f"{family}.trace.json"
+
+
+def _sha256_of(path: str) -> str:
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        digest.update(handle.read())
+    return digest.hexdigest()
+
+
+def build_corpus(
+    directory: str,
+    config: GPUConfig,
+    names: Optional[Sequence[str]] = None,
+    seed: Optional[int] = None,
+) -> Dict[str, object]:
+    """Generate and serialize the corpus into ``directory``.
+
+    Args:
+        directory: output directory (created if missing).
+        config: GPU configuration the streams are generated under;
+            recorded in the manifest.
+        names: families to build (default: all registered).
+        seed: override every family's default seed (default: each
+            family keeps its own).
+
+    Returns:
+        The manifest document that was written.
+    """
+    selected = list(names) if names else list(family_names())
+    os.makedirs(directory, exist_ok=True)
+    records: Dict[str, Dict[str, object]] = {}
+    for name in selected:
+        family = get_family(name)
+        family_seed = family.default_seed if seed is None else seed
+        stream = family.builder(config, family_seed)
+        filename = trace_filename(name)
+        path = os.path.join(directory, filename)
+        save_trace(stream, path)
+        frames = list(stream)
+        records[name] = {
+            "file": filename,
+            "seed": family_seed,
+            "frames": len(frames),
+            "draws": sum(len(frame.commands) for frame in frames),
+            "triangles": sum(frame.triangle_count for frame in frames),
+            "sha256": _sha256_of(path),
+            "description": family.description,
+            "adversary": family.adversary,
+        }
+    manifest = {
+        "format": CORPUS_FORMAT,
+        "version": CORPUS_VERSION,
+        "gpu": {
+            "screen_width": config.screen_width,
+            "screen_height": config.screen_height,
+            "frames": config.frames,
+        },
+        "families": records,
+    }
+    with open(os.path.join(directory, MANIFEST_NAME), "w") as handle:
+        json.dump(manifest, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return manifest
+
+
+def read_manifest(directory: str) -> Dict[str, object]:
+    """Load and validate ``directory``'s corpus manifest."""
+    path = os.path.join(directory, MANIFEST_NAME)
+    try:
+        with open(path) as handle:
+            manifest = json.load(handle)
+    except FileNotFoundError:
+        raise CorpusError(
+            f"no corpus manifest at {path!r} (build one with "
+            f"`repro corpus build`)"
+        ) from None
+    except ValueError as error:
+        raise CorpusError(f"corrupt corpus manifest {path!r}: {error}"
+                          ) from error
+    if manifest.get("format") != CORPUS_FORMAT:
+        raise CorpusError(f"{path!r} is not a corpus manifest")
+    if manifest.get("version") != CORPUS_VERSION:
+        raise CorpusError(
+            f"unsupported corpus version {manifest.get('version')!r}; "
+            f"this build reads version {CORPUS_VERSION}"
+        )
+    return manifest
+
+
+def load_corpus(
+    directory: str,
+    names: Optional[Sequence[str]] = None,
+) -> Tuple[Dict[str, FrameStream], Dict[str, object]]:
+    """Load corpus streams from ``directory``, verifying integrity.
+
+    Every requested trace file's sha256 is checked against the manifest
+    before decoding, so a truncated or edited trace fails loudly here
+    rather than as a mysterious pixel diff in the gate.
+
+    Returns:
+        ``(streams, manifest)`` with streams keyed by family name in
+        manifest order.
+    """
+    manifest = read_manifest(directory)
+    records = manifest.get("families", {})
+    selected: List[str] = list(names) if names else sorted(records)
+    streams: Dict[str, FrameStream] = {}
+    for name in selected:
+        record = records.get(name)
+        if record is None:
+            raise CorpusError(
+                f"corpus at {directory!r} has no family {name!r} "
+                f"(has: {', '.join(sorted(records))})"
+            )
+        path = os.path.join(directory, record["file"])
+        if not os.path.exists(path):
+            raise CorpusError(f"corpus trace missing: {path!r}")
+        digest = _sha256_of(path)
+        if digest != record.get("sha256"):
+            raise CorpusError(
+                f"corpus trace {path!r} does not match its manifest "
+                f"digest (expected {str(record.get('sha256'))[:12]}..., "
+                f"got {digest[:12]}...); rebuild the corpus"
+            )
+        streams[name] = load_trace(path)
+    return streams, manifest

@@ -45,6 +45,12 @@ _ENV_CACHE_DIR = "REPRO_CACHE_DIR"
 DEFAULT_CACHE_DIRNAME = ".repro_cache"
 QUARANTINE_DIRNAME = "quarantine"
 
+#: Newest quarantined files kept by default.  Quarantine exists for
+#: post-mortem, not as an archive: corrupt cache entries and corpus
+#: violation repros are only interesting while someone might still look
+#: at them, and before this cap the directory grew without bound.
+DEFAULT_QUARANTINE_KEEP = 64
+
 #: Entry trailer: CRC32 and byte length of the pickle payload, then a
 #: magic tag naming the on-disk format version.  Bumping the magic
 #: quarantines (rather than misreads) every older entry.
@@ -243,6 +249,56 @@ class DiskCache:
                              key=key[:12], reason=reason)
         logger.warning("cache entry %s corrupt (%s); quarantined to %s",
                        key[:12], reason, destination)
+        # Keep quarantine bounded: every new arrival re-applies the cap
+        # so a pathological run cannot fill the disk with post-mortems.
+        self.gc_quarantine()
+
+    def gc_quarantine(self, keep: int = DEFAULT_QUARANTINE_KEEP) -> Tuple[int, int]:
+        """Prune ``quarantine/`` down to the ``keep`` newest files.
+
+        Walks the whole quarantine tree — corrupt ``.pkl`` entries at
+        the top level *and* the corpus gate's minimized traces and
+        violation reports under ``quarantine/corpus/`` — and removes
+        the oldest files beyond the cap (newest by mtime survive, path
+        breaks ties so the order is stable).  Emptied subdirectories
+        are removed too.
+
+        Returns:
+            ``(kept, removed)`` file counts.
+        """
+        if keep < 0:
+            raise ValueError("keep must be >= 0")
+        quarantine = self.quarantine_dir()
+        files = []
+        for dirpath, _dirnames, filenames in os.walk(quarantine):
+            for name in filenames:
+                path = os.path.join(dirpath, name)
+                try:
+                    mtime = os.path.getmtime(path)
+                except OSError:
+                    continue
+                files.append((mtime, path))
+        files.sort(reverse=True)  # newest first; path breaks mtime ties
+        removed = 0
+        for _mtime, path in files[keep:]:
+            try:
+                os.remove(path)
+                removed += 1
+            except OSError:
+                pass
+        if removed:
+            # Drop directories the prune emptied (bottom-up).
+            for dirpath, dirnames, filenames in os.walk(quarantine,
+                                                        topdown=False):
+                if dirpath != quarantine and not dirnames and not filenames:
+                    try:
+                        os.rmdir(dirpath)
+                    except OSError:
+                        pass
+            global_registry().counter("cache.gc_removed").inc(removed)
+            logger.info("quarantine gc: kept %d, removed %d",
+                        len(files) - removed, removed)
+        return len(files) - removed, removed
 
     def clear(self) -> int:
         """Delete every cache entry; returns the number removed.

@@ -47,6 +47,11 @@ class MemoryModelError(ReproError):
     """Invalid parameters or illegal access in the memory-system model."""
 
 
+class CorpusError(ReproError):
+    """A malformed stress corpus: unknown family, missing or tampered
+    trace file, or a manifest this build cannot read."""
+
+
 class ResilienceError(ReproError):
     """Base class for failures surfaced by the fault-tolerant execution
     layer (:mod:`repro.resilience`)."""

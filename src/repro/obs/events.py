@@ -166,12 +166,34 @@ class RunFinished:
     kind = "run-finished"
 
 
+@dataclass(frozen=True)
+class CorpusFamilyChecked:
+    """The corpus gate finished differentially validating one stress
+    family (additive schema: new kind, no version bump).
+
+    ``failures`` counts violated checks; ``shrink_evals`` is non-zero
+    only when a violation triggered the delta-debugging shrinker.
+    """
+
+    family: str
+    frames: int
+    seconds: float
+    passed: bool
+    checks: int = 0
+    failures: int = 0
+    shrink_evals: int = 0
+    seq: int = 0
+    ts: float = 0.0
+
+    kind = "corpus-family-checked"
+
+
 Event = Union[RunStarted, PhaseCompleted, TileJobFinished, MetricSample,
-              FaultInjected, RunFinished]
+              FaultInjected, RunFinished, CorpusFamilyChecked]
 
 EVENT_TYPES: Tuple[Type, ...] = (
     RunStarted, PhaseCompleted, TileJobFinished, MetricSample,
-    FaultInjected, RunFinished,
+    FaultInjected, RunFinished, CorpusFamilyChecked,
 )
 
 _KIND_TO_TYPE: Dict[str, Type] = {cls.kind: cls for cls in EVENT_TYPES}

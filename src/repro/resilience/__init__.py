@@ -28,6 +28,7 @@ from .faults import (
     FaultPlan,
     FaultyCall,
     ScriptedFaultPlan,
+    corrupt_pixel,
     stable_unit,
 )
 from .journal import RunJournal
@@ -46,5 +47,6 @@ __all__ = [
     "RunJournal",
     "ScriptedFaultPlan",
     "backoff_delay",
+    "corrupt_pixel",
     "stable_unit",
 ]

@@ -7,7 +7,7 @@ the same faults every time, which is what lets CI exercise every failure
 path reproducibly and lets a killed-and-resumed run be compared against
 an uninterrupted one.
 
-Four fault kinds, mirroring how real suite runs die:
+Five fault kinds, mirroring how real suite runs die:
 
 ========  ==============================================================
 raise     the job raises :class:`~repro.errors.InjectedFaultError`
@@ -20,6 +20,11 @@ hang      the job sleeps for ``hang_seconds`` before completing
 crash     the job kills its worker process with ``os._exit`` (the pool
           breaks); in-process execution converts this to a ``raise``
           so the parent can never kill itself
+pixel     a rendered image acquires a deterministic single-pixel diff
+          (:func:`corrupt_pixel`).  Render-level corruption recognized
+          only by the corpus differential gate; job-level execution
+          (:class:`FaultyCall`) ignores it, because the retry machinery
+          has no pixels to damage
 ========  ==============================================================
 
 Plans are parsed from ``--inject-faults``/``REPRO_FAULTS`` specs such as
@@ -39,7 +44,8 @@ from typing import Any, Callable, Dict, Mapping, Optional, Tuple
 from ..errors import InjectedFaultError
 
 #: Recognized fault kinds, in the (fixed) order they are drawn.
-FAULT_KINDS = ("raise", "corrupt", "hang", "crash")
+#: ``pixel`` is appended so pre-existing plans keep their draw order.
+FAULT_KINDS = ("raise", "corrupt", "hang", "crash", "pixel")
 
 #: Worker exit code used by injected crashes (BSD's EX_SOFTWARE).
 CRASH_EXIT_CODE = 70
@@ -51,6 +57,25 @@ def stable_unit(text: str) -> float:
     process and Python version (unlike ``hash``)."""
     digest = hashlib.sha256(text.encode()).digest()
     return int.from_bytes(digest[:8], "big") / 2.0 ** 64
+
+
+def corrupt_pixel(image, key: str, seed: int = 0):
+    """A copy of ``image`` with one deterministically chosen pixel
+    nudged off its rendered value.
+
+    The pixel coordinate derives from :func:`stable_unit` over
+    ``(seed, key)``, so the same (plan, family, mode, backend) always
+    damages the same pixel — which is what lets a quarantined repro
+    trace reproduce the violation standalone, and lets the shrinker's
+    predicate stay deterministic while frames are cut away.
+    """
+    height, width = image.shape[:2]
+    y = min(height - 1, int(stable_unit(f"{seed}|pixel-y|{key}") * height))
+    x = min(width - 1, int(stable_unit(f"{seed}|pixel-x|{key}") * width))
+    corrupted = image.copy()
+    # An additive nudge can never be a no-op (flipping 0.5 would be).
+    corrupted[y, x, 0] += 0.125
+    return corrupted
 
 
 class CorruptedResult:

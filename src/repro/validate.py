@@ -8,6 +8,14 @@ correctness contracts:
 2. Shaded-fragment ordering: Oracle <= EVR-reordered <= Baseline.
 3. EVR never skips more tiles than are pixel-identical (oracle bound).
 
+Passing more than one kernel backend makes the run *differential*: the
+same modes are rendered under each backend and every (mode, backend)
+image is compared against the first backend's baseline, which folds the
+backend bit-identity contract (scalar reference vs batched numpy — see
+:mod:`repro.kernels`) into the same report.  The ``corruptor`` hook lets
+the corpus gate (:mod:`repro.corpus.gate`) damage rendered results
+deterministically to prove the comparison actually detects diffs.
+
 Exposed as :func:`validate_stream` for library users and as
 ``python -m repro validate <benchmark>`` on the command line.
 """
@@ -15,13 +23,18 @@ Exposed as :func:`validate_stream` for library users and as
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from .commands import FrameStream
 from .config import GPUConfig
+from .kernels import DEFAULT_BACKEND, normalize_backend
 from .pipeline import GPU, PipelineMode, RunResult
+
+#: Hook applied to every rendered result before comparison:
+#: ``(mode_value, backend, result) -> result``.
+Corruptor = Callable[[str, str, RunResult], RunResult]
 
 
 @dataclass
@@ -62,53 +75,95 @@ _MODES = (
 )
 
 
+def _images_equal(expected: RunResult, actual: RunResult) -> bool:
+    return all(
+        np.array_equal(a.image, b.image)
+        for a, b in zip(expected.frames, actual.frames)
+    )
+
+
 def validate_stream(
     stream: FrameStream,
     config: Optional[GPUConfig] = None,
     modes: tuple = _MODES,
+    backends: Optional[Sequence[str]] = None,
+    corruptor: Optional[Corruptor] = None,
 ) -> ValidationReport:
-    """Run ``stream`` under every mode and check the contracts."""
+    """Run ``stream`` under every (mode, backend) and check contracts.
+
+    Args:
+        stream: the frames to validate.
+        config: GPU configuration (default :meth:`GPUConfig.default`).
+        modes: pipeline modes to cross-compare.
+        backends: kernel backends to render under.  ``None`` keeps the
+            single default backend and the report's historical check
+            labels; two or more makes the run differential.
+        corruptor: optional hook mangling results post-render (fault
+            injection for the corpus gate); never used by normal
+            validation.
+    """
     config = config or GPUConfig.default()
+    if backends is None:
+        resolved_backends: Tuple[str, ...] = (DEFAULT_BACKEND,)
+    else:
+        resolved_backends = tuple(
+            normalize_backend(backend) for backend in backends)
+    differential = len(resolved_backends) > 1
     report = ValidationReport(frames=len(stream))
 
-    results: Dict[PipelineMode, RunResult] = {}
-    for mode in modes:
-        results[mode] = GPU(config, mode).render_stream(stream)
+    results: Dict[Tuple[PipelineMode, str], RunResult] = {}
+    for backend in resolved_backends:
+        for mode in modes:
+            result = GPU(config, mode, backend=backend).render_stream(stream)
+            if corruptor is not None:
+                result = corruptor(mode.value, backend, result)
+            results[(mode, backend)] = result
 
-    baseline = results[PipelineMode.BASELINE]
-    for mode, result in results.items():
-        if mode is PipelineMode.BASELINE:
-            continue
-        identical = all(
-            np.array_equal(expected.image, actual.image)
-            for expected, actual in zip(baseline.frames, result.frames)
-        )
-        report.record(
-            f"{mode.value}: images pixel-identical to baseline", identical
-        )
+    reference_backend = resolved_backends[0]
+    baseline = results.get((PipelineMode.BASELINE, reference_backend))
+    if baseline is not None:
+        for (mode, backend), result in results.items():
+            if (mode is PipelineMode.BASELINE
+                    and backend == reference_backend):
+                continue
+            if differential:
+                label = (f"{mode.value}[{backend}]: pixel-identical to "
+                         f"baseline[{reference_backend}]")
+            else:
+                label = f"{mode.value}: images pixel-identical to baseline"
+            report.record(label, _images_equal(baseline, result))
 
-    if (PipelineMode.EVR_REORDER_ONLY in results
-            and PipelineMode.ORACLE in results):
-        base_shaded = baseline.total_stats(warmup=0).fragments_shaded
-        reorder_shaded = results[
-            PipelineMode.EVR_REORDER_ONLY
-        ].total_stats(warmup=0).fragments_shaded
-        oracle_shaded = results[PipelineMode.ORACLE].total_stats(
-            warmup=0
-        ).fragments_shaded
-        report.record(
-            "shaded fragments: oracle <= evr-reordered <= baseline",
-            oracle_shaded <= reorder_shaded <= base_shaded,
-        )
+    for backend in resolved_backends:
+        suffix = f" [{backend}]" if differential else ""
+        if (PipelineMode.EVR_REORDER_ONLY, backend) in results and (
+                PipelineMode.ORACLE, backend) in results:
+            base_shaded = results[
+                (PipelineMode.BASELINE, backend)
+            ].total_stats(warmup=0).fragments_shaded
+            reorder_shaded = results[
+                (PipelineMode.EVR_REORDER_ONLY, backend)
+            ].total_stats(warmup=0).fragments_shaded
+            oracle_shaded = results[
+                (PipelineMode.ORACLE, backend)
+            ].total_stats(warmup=0).fragments_shaded
+            report.record(
+                "shaded fragments: oracle <= evr-reordered <= baseline"
+                + suffix,
+                oracle_shaded <= reorder_shaded <= base_shaded,
+            )
 
-    if PipelineMode.EVR in results and PipelineMode.ORACLE in results:
-        evr_skipped = results[PipelineMode.EVR].total_stats(
-            warmup=0
-        ).tiles_skipped
-        oracle_equal = results[PipelineMode.ORACLE].comparator.tiles_equal
-        report.record(
-            "EVR tile skips within the pixel-exact oracle bound",
-            evr_skipped <= oracle_equal,
-        )
+        if (PipelineMode.EVR, backend) in results and (
+                PipelineMode.ORACLE, backend) in results:
+            evr_skipped = results[(PipelineMode.EVR, backend)].total_stats(
+                warmup=0
+            ).tiles_skipped
+            oracle_equal = results[
+                (PipelineMode.ORACLE, backend)
+            ].comparator.tiles_equal
+            report.record(
+                "EVR tile skips within the pixel-exact oracle bound"
+                + suffix,
+                evr_skipped <= oracle_equal,
+            )
 
     return report

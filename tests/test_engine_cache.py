@@ -205,3 +205,79 @@ class TestCacheIntegrityAndQuarantine:
             _decode_entry(good[:1] + good[8:])  # drop payload bytes
         with pytest.raises(CacheCorruptionError, match="checksum"):
             _decode_entry(b"Xayload" + good[7:])
+
+
+class TestQuarantineGC:
+    """The quarantine directory is a bounded post-mortem area, not an
+    archive: ``gc_quarantine`` keeps only the newest files, including
+    the corpus gate's repros under ``quarantine/corpus/``."""
+
+    def _seed_quarantine(self, cache, count, subdir=""):
+        directory = cache.quarantine_dir()
+        if subdir:
+            directory = os.path.join(directory, subdir)
+        os.makedirs(directory, exist_ok=True)
+        paths = []
+        for index in range(count):
+            path = os.path.join(directory, f"q{index:03d}.pkl")
+            with open(path, "w") as handle:
+                handle.write("x")
+            # Explicit, strictly increasing mtimes: higher index = newer.
+            os.utime(path, (1_000_000 + index, 1_000_000 + index))
+            paths.append(path)
+        return paths
+
+    def test_keeps_newest(self, tmp_path):
+        cache = DiskCache(str(tmp_path))
+        paths = self._seed_quarantine(cache, 5)
+        kept, removed = cache.gc_quarantine(keep=2)
+        assert (kept, removed) == (2, 3)
+        survivors = sorted(os.listdir(cache.quarantine_dir()))
+        assert survivors == [os.path.basename(p) for p in paths[-2:]]
+
+    def test_walks_corpus_subdirectory_and_prunes_empty(self, tmp_path):
+        cache = DiskCache(str(tmp_path))
+        old = self._seed_quarantine(cache, 3, subdir="corpus")
+        new = self._seed_quarantine(cache, 2)
+        for index, path in enumerate(new):  # make top-level files newest
+            os.utime(path, (2_000_000 + index, 2_000_000 + index))
+        kept, removed = cache.gc_quarantine(keep=2)
+        assert (kept, removed) == (2, 3)
+        assert all(not os.path.exists(path) for path in old)
+        # The emptied corpus/ subdirectory is removed too.
+        assert not os.path.exists(
+            os.path.join(cache.quarantine_dir(), "corpus"))
+
+    def test_keep_zero_and_negative(self, tmp_path):
+        cache = DiskCache(str(tmp_path))
+        self._seed_quarantine(cache, 3)
+        with pytest.raises(ValueError):
+            cache.gc_quarantine(keep=-1)
+        kept, removed = cache.gc_quarantine(keep=0)
+        assert (kept, removed) == (0, 3)
+
+    def test_missing_quarantine_is_a_noop(self, tmp_path):
+        cache = DiskCache(str(tmp_path))
+        assert cache.gc_quarantine() == (0, 0)
+
+    def test_new_arrival_reapplies_cap(self, tmp_path):
+        from repro.engine.diskcache import DEFAULT_QUARANTINE_KEEP
+        cache = DiskCache(str(tmp_path))
+        self._seed_quarantine(cache, DEFAULT_QUARANTINE_KEEP + 6)
+        # Corrupt a real entry; quarantining it must re-apply the cap.
+        key = cache.make_key("victim")
+        cache.put(key, {"value": 1})
+        path = cache.path_for(key)
+        with open(path, "r+b") as handle:
+            handle.truncate(4)
+        assert cache.get(key) is None
+        assert cache.quarantined() <= DEFAULT_QUARANTINE_KEEP
+
+    def test_cli_gc(self, tmp_path, capsys):
+        cache = DiskCache(str(tmp_path))
+        self._seed_quarantine(cache, 4)
+        assert main(["cache", "gc", "--dir", str(tmp_path),
+                     "--keep", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "kept 1, removed 3" in out
+        assert cache.quarantined() == 1

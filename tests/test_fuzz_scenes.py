@@ -128,3 +128,40 @@ def test_skip_counts_within_oracle_bound(specs):
     # so the counts must satisfy skipped <= equal.
     evr_skipped = sum(f.stats.tiles_skipped for f in evr.frames)
     assert evr_skipped <= oracle.comparator.tiles_equal
+
+
+# ---------------------------------------------------------------------------
+# Corpus stress families as hypothesis strategies: the named adversarial
+# workloads (repro.corpus) must satisfy the same contracts under *any*
+# seed, not just the seeds the committed corpus pins.
+# ---------------------------------------------------------------------------
+
+from repro.corpus import family_names, family_stream  # noqa: E402
+from repro.validate import validate_stream  # noqa: E402
+
+STRESS_CONFIG = GPUConfig(screen_width=48, screen_height=32, frames=3)
+
+
+@given(st.sampled_from(family_names()),
+       st.integers(min_value=0, max_value=2 ** 16))
+@settings(max_examples=12, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_stress_families_satisfy_contracts_under_any_seed(family, seed):
+    stream = family_stream(family, STRESS_CONFIG, seed=seed)
+    report = validate_stream(stream, STRESS_CONFIG)
+    assert report.passed, f"{family} seed={seed}\n{report.render()}"
+
+
+@given(st.sampled_from(family_names()),
+       st.integers(min_value=0, max_value=2 ** 16))
+@settings(max_examples=6, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_stress_families_differential_across_backends(family, seed):
+    """Scalar and batched backends must stay bit-identical on the
+    adversarial geometry (slivers, zero-area, deep stacks) too."""
+    stream = family_stream(family, STRESS_CONFIG, seed=seed)
+    report = validate_stream(stream, STRESS_CONFIG,
+                             modes=(PipelineMode.BASELINE,
+                                    PipelineMode.EVR),
+                             backends=("python", "numpy"))
+    assert report.passed, f"{family} seed={seed}\n{report.render()}"

@@ -21,6 +21,7 @@ from repro.engine import ProcessPoolScheduler, SerialScheduler
 from repro.harness.runner import metrics_from_result
 from repro.obs import ChromeTracer, MetricsRegistry
 from repro.obs.events import (
+    CorpusFamilyChecked,
     EVENT_SCHEMA_VERSION,
     EventBus,
     EventForwardingCall,
@@ -119,6 +120,9 @@ class TestWireForm:
         MetricSample(name="suite.progress", value=0.5),
         RunFinished(benchmark="cde", mode="evr", seconds=1.5,
                     frames=4, fragments=400),
+        CorpusFamilyChecked(family="sliver", frames=4, seconds=0.8,
+                            passed=False, checks=13, failures=9,
+                            shrink_evals=17),
     ]
 
     def test_round_trip_every_kind(self):

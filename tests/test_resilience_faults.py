@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import os
 
+import numpy as np
 import pytest
 
 from repro.errors import InjectedFaultError
@@ -21,6 +22,7 @@ from repro.resilience import (
     RetryPolicy,
     ScriptedFaultPlan,
     backoff_delay,
+    corrupt_pixel,
     stable_unit,
 )
 
@@ -139,7 +141,42 @@ class TestFaultyCall:
             call(0)
 
     def test_fault_kinds_cover_all_paths(self):
-        assert FAULT_KINDS == ("raise", "corrupt", "hang", "crash")
+        # "pixel" is appended (never inserted) so pre-existing plans
+        # keep their draw order.
+        assert FAULT_KINDS == ("raise", "corrupt", "hang", "crash",
+                               "pixel")
+
+    def test_pixel_fault_ignored_by_job_execution(self):
+        # Render-level corruption means nothing to the retry machinery:
+        # a job under a pixel-only plan must run untouched.
+        plan = ScriptedFaultPlan({("1:0", 1): "pixel"})
+        call = FaultyCall(lambda x: x * 2, plan, "1:0", 1, os.getpid())
+        assert call(4) == 8
+
+
+class TestCorruptPixel:
+    def test_deterministic_and_single_pixel(self):
+        image = np.zeros((8, 12, 4), dtype=np.float64)
+        first = corrupt_pixel(image, "corpus/fam/evr/numpy", seed=3)
+        second = corrupt_pixel(image, "corpus/fam/evr/numpy", seed=3)
+        np.testing.assert_array_equal(first, second)
+        assert np.count_nonzero(first != image) == 1
+        # The input is never mutated.
+        assert not image.any()
+
+    def test_key_and_seed_select_different_pixels(self):
+        image = np.zeros((32, 32, 4), dtype=np.float64)
+        a = corrupt_pixel(image, "corpus/fam/evr/numpy", seed=0)
+        b = corrupt_pixel(image, "corpus/fam/re/numpy", seed=0)
+        c = corrupt_pixel(image, "corpus/fam/evr/numpy", seed=1)
+        assert not np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_never_a_noop(self):
+        # The additive nudge must change the pixel whatever its value.
+        image = np.full((4, 4, 4), 0.5, dtype=np.float64)
+        corrupted = corrupt_pixel(image, "k", seed=0)
+        assert np.count_nonzero(corrupted != image) == 1
 
 
 class TestRetryPolicy:

@@ -43,3 +43,61 @@ class TestValidateStream:
         code = main(["validate", "hop", "--frames", "3",
                      "--width", "64", "--height", "48"])
         assert code == 0
+
+
+class TestValidateAcrossBackends:
+    """Cross-mode validation is a tier-1 invariant under *every* kernel
+    backend, and passing several backends makes the run differential."""
+
+    @pytest.mark.parametrize("backends", [("python",), ("numpy",)])
+    def test_single_backend_keeps_historical_labels(self, backends):
+        config = GPUConfig.tiny(frames=3)
+        stream = benchmark_stream("cde", config)
+        report = validate_stream(stream, config, backends=backends)
+        assert report.passed, report.render()
+        # One backend: the check labels stay exactly the historical
+        # ones, so existing tooling parsing them keeps working.
+        assert "re: images pixel-identical to baseline" in report.checks
+        assert len(report.checks) == 6
+
+    def test_differential_covers_modes_times_backends(self):
+        config = GPUConfig.tiny(frames=3)
+        stream = benchmark_stream("cde", config)
+        report = validate_stream(stream, config,
+                                 backends=("python", "numpy"))
+        assert report.passed, report.render()
+        # 5 modes x 2 backends: 9 pixel-identity checks against
+        # baseline[python] plus 2 invariant checks per backend.
+        assert len(report.checks) == 13
+        labels = " ".join(report.checks)
+        assert "baseline[numpy]: pixel-identical to baseline[python]" \
+            in report.checks
+        assert "[python]" in labels and "[numpy]" in labels
+
+    def test_backend_aliases_normalized(self):
+        config = GPUConfig.tiny(frames=3)
+        stream = benchmark_stream("cde", config)
+        report = validate_stream(stream, config,
+                                 backends=("scalar", "batched"))
+        assert report.passed, report.render()
+        assert "baseline[numpy]: pixel-identical to baseline[python]" \
+            in report.checks
+
+    def test_corruptor_detected(self):
+        from repro.corpus import make_pixel_corruptor
+        from repro.resilience import FaultPlan
+        config = GPUConfig.tiny(frames=3)
+        stream = benchmark_stream("cde", config)
+        corruptor = make_pixel_corruptor(FaultPlan({"pixel": 1.0}), "cde")
+        report = validate_stream(stream, config,
+                                 backends=("python", "numpy"),
+                                 corruptor=corruptor)
+        assert not report.passed
+        assert report.failures
+
+    def test_cli_differential_flag(self):
+        from repro.cli import main
+        code = main(["validate", "hop", "--frames", "3",
+                     "--width", "64", "--height", "48",
+                     "--backends", "python", "numpy"])
+        assert code == 0
