@@ -3,8 +3,12 @@
 Subcommands:
 
 * ``list`` — show the benchmark suite (Table III).
-* ``run`` — simulate one benchmark under one or more pipeline modes and
-  print the headline metrics.
+* ``modes`` — list the registered pipeline techniques (paper modes,
+  alternative culling mechanisms, approximate rivals) and their
+  validation contracts.
+* ``run`` — simulate one benchmark under one or more registered
+  techniques (``--modes``, or ``--mode`` for a single one) and print
+  the headline metrics.
 * ``figure`` — regenerate one of the paper's figures/tables.
 * ``render`` — render a benchmark's frames to PPM images.
 * ``report`` — paper-vs-measured markdown report (EXPERIMENTS.md body).
@@ -117,7 +121,7 @@ from .harness import (
     table2_parameters,
     table3_suite,
 )
-from .harness.alternatives import culling_alternatives
+from .harness.alternatives import culling_alternatives, rival_techniques
 from .harness.balance import pipeline_balance_report
 from .harness.timeseries import frame_series, write_csv
 from .harness.report import render_report
@@ -161,7 +165,7 @@ from .obs.ledger import (
 from .obs.log import verbosity_from_flags
 from .obs.metrics import frame_record, run_record, spec_record
 from .obs.profile import phase_breakdown
-from .pipeline import GPU, PipelineMode
+from .pipeline import GPU
 from .resilience import ResilientScheduler
 from .scenes import BENCHMARKS, benchmark_stream
 from .spec import (
@@ -172,7 +176,7 @@ from .spec import (
     preset_names,
     spec_from_args,
 )
-from .validate import _MODES as _ALL_MODES
+from .techniques import default_modes, get_technique, technique_names
 from .validate import validate_stream
 
 _FIGURES = {
@@ -200,7 +204,10 @@ _FIGURES = {
         runner.config, benchmarks=subset or ("cde", "tib", "300")
     ),
     "alternatives": lambda runner, subset: culling_alternatives(
-        runner.config, benchmarks=subset or ("tib", "ata")
+        runner.config, benchmarks=subset or ("tib", "ata"), runner=runner
+    ),
+    "rivals": lambda runner, subset: rival_techniques(
+        runner.config, benchmarks=subset or ("tib", "ata"), runner=runner
     ),
 }
 
@@ -514,7 +521,32 @@ def _command_list(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_modes(args: argparse.Namespace) -> int:
+    """List every registered technique with its validation contract."""
+    out = _make_output(args)
+    rows: List[List[object]] = []
+    for technique in default_modes():
+        contract = ("pixel-exact" if technique.pixel_exact
+                    else f"err <= {technique.error_tolerance:g}")
+        rows.append([
+            technique.name,
+            technique.kind,
+            contract,
+            ", ".join(technique.aliases) or "-",
+            technique.summary,
+        ])
+    out.result(format_table(
+        ["mode", "kind", "contract", "aliases", "summary"], rows,
+        title=f"registered techniques ({len(rows)})",
+    ))
+    return 0
+
+
 def _command_run(args: argparse.Namespace) -> int:
+    if getattr(args, "mode", None):
+        # `--mode dsr` is sugar for `--modes dsr`: a single-technique
+        # run without a comparison table base.
+        args.modes = [args.mode]
     resolved, spec, out = _resolve(args)
     benchmarks = ([args.benchmark] if args.benchmark
                   else list(spec.workload.benchmarks))
@@ -682,7 +714,7 @@ def _command_render(args: argparse.Namespace) -> int:
     resolved, spec, out = _resolve(args)
     config = spec.gpu
     stream = benchmark_stream(args.benchmark, config)
-    mode = PipelineMode(args.mode)
+    mode = get_technique(args.mode)
     os.makedirs(args.output, exist_ok=True)
     gpu = GPU.from_spec(spec, mode)
     for frame in stream:
@@ -732,7 +764,7 @@ def _command_profile(args: argparse.Namespace) -> int:
     print the phase, job and worker-occupancy breakdowns."""
     resolved, spec, out = _resolve(args)
     config = spec.gpu
-    mode = PipelineMode(args.mode)
+    mode = get_technique(args.mode)
     global_registry().reset()
     tracer = ChromeTracer()
     profiler = SchedulerProfiler(tracer)
@@ -1227,6 +1259,13 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers.add_parser("list", help="show the benchmark suite",
                           parents=[output_flags])
 
+    subparsers.add_parser(
+        "modes",
+        help="list the registered pipeline techniques and their "
+             "validation contracts",
+        parents=[output_flags],
+    )
+
     run_parser = subparsers.add_parser("run", help="simulate one benchmark",
                                        parents=[output_flags])
     run_parser.add_argument("benchmark", nargs="?", default=None,
@@ -1239,9 +1278,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_parser.add_argument(
         "--modes", nargs="+", default=None,
-        choices=[mode.value for mode in PipelineMode],
-        help="pipeline modes to compare (first is the normalization base; "
-             "default baseline re evr)",
+        choices=technique_names(include_aliases=True), metavar="MODE",
+        help="registered techniques to compare (first is the "
+             "normalization base; default baseline re evr; "
+             "see `repro modes`)",
+    )
+    run_parser.add_argument(
+        "--mode", default=None,
+        choices=technique_names(include_aliases=True), metavar="MODE",
+        help="shorthand for --modes with a single technique",
     )
     _add_spec_arguments(run_parser)
     _add_config_arguments(run_parser)
@@ -1269,8 +1314,11 @@ def build_parser() -> argparse.ArgumentParser:
         parents=[output_flags],
     )
     render_parser.add_argument("benchmark", choices=sorted(BENCHMARKS))
-    render_parser.add_argument("--mode", default="evr",
-                               choices=[mode.value for mode in PipelineMode])
+    render_parser.add_argument(
+        "--mode", default="evr",
+        choices=technique_names(include_aliases=True), metavar="MODE",
+        help="registered technique to render under (see `repro modes`)",
+    )
     render_parser.add_argument("--output", default="out_frames")
     _add_spec_arguments(render_parser)
     _add_config_arguments(render_parser)
@@ -1295,7 +1343,8 @@ def build_parser() -> argparse.ArgumentParser:
     profile_parser.add_argument("benchmark", choices=sorted(BENCHMARKS))
     profile_parser.add_argument(
         "--mode", default="evr",
-        choices=[mode.value for mode in PipelineMode],
+        choices=technique_names(include_aliases=True), metavar="MODE",
+        help="registered technique to profile (see `repro modes`)",
     )
     _add_spec_arguments(profile_parser)
     _add_config_arguments(profile_parser)
@@ -1523,6 +1572,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 _COMMANDS = {
     "list": _command_list,
+    "modes": _command_modes,
     "run": _command_run,
     "figure": _command_figure,
     "render": _command_render,

@@ -38,9 +38,10 @@ from ..commands.trace import save_trace
 from ..config import GPUConfig
 from ..obs.events import CorpusFamilyChecked, get_bus
 from ..obs.metrics import global_registry
-from ..pipeline import PipelineMode, RunResult
+from ..pipeline import RunResult
 from ..resilience.faults import FaultPlan, corrupt_pixel
-from ..validate import Corruptor, ValidationReport, _MODES, validate_stream
+from ..techniques import Technique, default_modes, resolve_technique
+from ..validate import Corruptor, ValidationReport, validate_stream
 from .shrink import DEFAULT_MAX_EVALS, ShrinkOutcome, shrink_stream
 
 VIOLATION_REPORT_VERSION = 1
@@ -91,7 +92,7 @@ def make_pixel_corruptor(plan: Optional[FaultPlan],
 def _violation_document(
     result: FamilyResult,
     config: GPUConfig,
-    modes: Sequence[PipelineMode],
+    modes: Sequence[Technique],
     backends: Sequence[str],
     plan: Optional[FaultPlan],
     trace_filename: str,
@@ -138,7 +139,7 @@ def _quarantine_violation(
     stream: FrameStream,
     quarantine_dir: str,
     config: GPUConfig,
-    modes: Sequence[PipelineMode],
+    modes: Sequence[Technique],
     backends: Sequence[str],
     plan: Optional[FaultPlan],
 ) -> None:
@@ -161,7 +162,7 @@ def _quarantine_violation(
 def replay_families(
     streams: Mapping[str, FrameStream],
     config: GPUConfig,
-    modes: Tuple[PipelineMode, ...] = _MODES,
+    modes: Optional[Sequence[object]] = None,
     backends: Optional[Sequence[str]] = None,
     fault_plan: Optional[FaultPlan] = None,
     quarantine_dir: str = "",
@@ -175,7 +176,8 @@ def replay_families(
         streams: family name -> frame stream (insertion order is the
             replay order).
         config: GPU configuration the streams target.
-        modes: pipeline modes to cross-compare.
+        modes: technique designators to cross-compare (default: every
+            registered technique).
         backends: kernel backends (default: the single default backend;
             pass both for the full differential gate).
         fault_plan: optional deterministic fault plan; only its
@@ -191,6 +193,10 @@ def replay_families(
         One :class:`FamilyResult` per replayed family (fewer than
         ``len(streams)`` when ``strict`` stopped early).
     """
+    resolved_modes: Tuple[Technique, ...] = (
+        default_modes() if modes is None
+        else tuple(resolve_technique(mode) for mode in modes)
+    )
     registry = global_registry()
     bus = get_bus()
     results: List[FamilyResult] = []
@@ -198,7 +204,7 @@ def replay_families(
         corruptor = make_pixel_corruptor(fault_plan, family)
 
         def run_checks(candidate: FrameStream) -> ValidationReport:
-            return validate_stream(candidate, config, modes=modes,
+            return validate_stream(candidate, config, modes=resolved_modes,
                                    backends=backends, corruptor=corruptor)
 
         started = time.perf_counter()
@@ -219,7 +225,7 @@ def replay_families(
                     result.shrunk.evals)
             if quarantine_dir:
                 _quarantine_violation(result, stream, quarantine_dir,
-                                      config, modes,
+                                      config, resolved_modes,
                                       backends or (), fault_plan)
         result.seconds = time.perf_counter() - started
         if bus.enabled:

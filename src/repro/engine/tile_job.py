@@ -153,6 +153,12 @@ class TileJob:
             (models the pointer-dereference traffic).
         backend: kernel backend name (``repro.kernels``); execution
             policy — every backend produces bit-identical results.
+        dsr_rate: Dynamic-Sampling-Rate fraction for this tile (1.0,
+            0.5 or 0.25), resolved parent-side at schedule time so every
+            scheduler renders identically.
+        history: previous frame's framebuffer contents for this tile
+            (full tile-sized, clear-padded), present only under the
+            ``fhv`` feature; the reconstruction source.
     """
 
     tile: int
@@ -163,6 +169,8 @@ class TileJob:
     entries: List[DisplayListEntry]
     attribute_bytes: int
     backend: str = DEFAULT_BACKEND
+    dsr_rate: float = 1.0
+    history: Optional[np.ndarray] = None
 
     # -- geometry helpers ---------------------------------------------------
 
@@ -326,41 +334,119 @@ class TileJob:
             passing = mask
             shaded_mask = mask
 
+        blend_mode = state.blend
+        vr_kill = None
+        if features.vrpipe_early_termination:
+            # VR-Pipe-style early termination: a fragment whose merge
+            # cannot move the pixel by more than the threshold in any
+            # channel is killed before shading and its write suppressed.
+            # Opaque writes replace (delta = |src - dst|); blends move
+            # rgb by a*(src-dst) and alpha by max(src_a - dst_a, 0).
+            # Depth writes are NOT suppressed — visibility stays exact.
+            destination = color_buffer.color
+            threshold = features.vrpipe_threshold
+            if blend_mode is BlendMode.OPAQUE:
+                delta = np.abs(frag.rgba - destination).max(axis=2)
+                vr_kill = passing & (delta <= threshold)
+            else:
+                src_alpha = frag.rgba[:, :, 3]
+                rgb_delta = np.abs(
+                    frag.rgba[:, :, :3] - destination[:, :, :3]
+                ).max(axis=2)
+                alpha_gain = np.maximum(
+                    src_alpha - destination[:, :, 3], 0.0
+                )
+                vr_kill = passing & (
+                    (src_alpha * rgb_delta <= threshold)
+                    & (alpha_gain <= threshold)
+                )
+            killed = int(np.count_nonzero(vr_kill))
+            if killed:
+                stats.vrpipe_killed += killed
+                shaded_mask = shaded_mask & ~vr_kill
+            else:
+                vr_kill = None
+
         shaded = int(np.count_nonzero(shaded_mask))
-        if shaded == 0:
+        if shaded == 0 and not passing.any():
             return False
+
+        rgba = frag.rgba
+        if shaded and features.dsr and self.dsr_rate < 1.0:
+            # Dynamic Sampling Rate: shade only each block's anchor and
+            # replicate its color to the block's other fragments.  A
+            # fragment is reused only when its anchor is also shaded by
+            # this primitive; uncovered-anchor fragments shade normally.
+            block_h = 2 if self.dsr_rate <= 0.25 else 1
+            rows = np.arange(shaded_mask.shape[0])[:, None]
+            cols = np.arange(shaded_mask.shape[1])[None, :]
+            anchor_rows = rows - rows % block_h
+            anchor_cols = cols - cols % 2
+            is_anchor = (rows == anchor_rows) & (cols == anchor_cols)
+            reused = (shaded_mask
+                      & shaded_mask[anchor_rows, anchor_cols]
+                      & ~is_anchor)
+            reused_count = int(np.count_nonzero(reused))
+            if reused_count:
+                stats.dsr_reused_fragments += reused_count
+                rgba = np.where(reused[:, :, None],
+                                rgba[anchor_rows, anchor_cols], rgba)
+                shaded_mask = shaded_mask & ~reused
+                shaded = int(np.count_nonzero(shaded_mask))
 
         if primitive.writes_z:
             stats.depth_writes += kernels.depth_write(
                 z_buffer.depth, passing, frag.depth
             )
 
-        # Fragment shading (cost model + texture traffic).
-        stats.fragments_shaded += shaded
-        shader = state.shader
-        stats.fragment_instructions += shaded * shader.fragment_instructions
-        if shader.texture_fetches:
-            stats.texture_samples += shaded * shader.texture_fetches
-            memory.texture_batch(
-                shader.texture_id,
-                shader.texture_size,
-                frag.u[shaded_mask],
-                frag.v[shaded_mask],
-                shader.texture_fetches,
+        reconstruct = (
+            shaded
+            and features.fhv
+            and entry.predicted_occluded
+            and self.history is not None
+            and blend_mode is BlendMode.OPAQUE
+        )
+        if reconstruct:
+            # Fragment-History-Volume-style reconstruction: the FVP says
+            # these fragments will end up occluded, so instead of shading
+            # them, replay last frame's framebuffer colors (they carry
+            # whatever covered the pixel then).  Depth still resolves
+            # normally; only shading work is saved.
+            stats.fhv_reconstructed += shaded
+            stats.fhv_reconstruction_error += float(
+                np.abs(rgba[shaded_mask] - self.history[shaded_mask]).sum()
             )
+            rgba = self.history
+        elif shaded:
+            # Fragment shading (cost model + texture traffic).
+            stats.fragments_shaded += shaded
+            shader = state.shader
+            stats.fragment_instructions += (
+                shaded * shader.fragment_instructions
+            )
+            if shader.texture_fetches:
+                stats.texture_samples += shaded * shader.texture_fetches
+                memory.texture_batch(
+                    shader.texture_id,
+                    shader.texture_size,
+                    frag.u[shaded_mask],
+                    frag.v[shaded_mask],
+                    shader.texture_fetches,
+                )
 
         # Blending and overshading accounting (writes gated by the depth
-        # test outcome even when shading was not).
+        # test outcome even when shading was not).  VR-Pipe-killed
+        # fragments keep their depth effect but never reach the blender.
         if not passing.any():
             return False
-        blend_mode = state.blend
+        write_mask = passing if vr_kill is None else passing & ~vr_kill
         if blend_mode is BlendMode.OPAQUE:
             opaque_mask = passing
-            kernels.color_write(color_buffer.color, passing, frag.rgba)
+            kernels.color_write(color_buffer.color, write_mask, rgba)
         else:
-            opaque_mask = passing & (frag.rgba[:, :, 3] >= _ALPHA_OPAQUE)
-            kernels.color_blend(color_buffer.color, passing, frag.rgba)
-        stats.blend_operations += int(np.count_nonzero(passing))
+            opaque_mask = passing & (rgba[:, :, 3] >= _ALPHA_OPAQUE)
+            kernels.color_blend(color_buffer.color, write_mask, rgba)
+        stats.blend_operations += int(np.count_nonzero(write_mask))
 
         translucent_mask = passing & ~opaque_mask
         stats.overdrawn_fragments += kernels.overdraw_update(

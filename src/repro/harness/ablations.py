@@ -24,7 +24,7 @@ from typing import List, Optional, Sequence
 from ..config import GPUConfig
 from ..engine.scheduler import make_scheduler
 from ..math3d import Vec3, Vec4
-from ..pipeline import GPU, PipelineFeatures, PipelineMode
+from ..pipeline import GPU, PipelineFeatures
 from ..scenes import BoxSpec, LinearOscillation, Scene3D, benchmark_stream
 from .experiments import ExperimentResult, _mean
 
@@ -198,8 +198,8 @@ def ablation_draw_order(config: Optional[GPUConfig] = None,
     try:
         for order in ("front_to_back", "submission", "back_to_front"):
             stream = _slab_scene(config, order).stream(config.frames)
-            for mode, label in ((PipelineMode.BASELINE, "baseline"),
-                                (PipelineMode.EVR_REORDER_ONLY, "evr")):
+            for mode, label in (("baseline", "baseline"),
+                                ("evr-reorder-only", "evr")):
                 result = GPU(config, mode,
                              scheduler=scheduler).render_stream(stream)
                 frags = result.shaded_fragments_per_pixel()

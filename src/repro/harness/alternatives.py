@@ -1,65 +1,120 @@
-"""Comparison of EVR against the alternative culling mechanisms the
-paper discusses: software Z-prepass (Section IV-A) and Hierarchical-Z
-primitive rejection (Section VIII).
+"""Comparison of EVR against rival culling/shading-reduction techniques.
 
-The interesting quantity is not just shaded fragments — Z-prepass
-matches the oracle there by construction — but *total cycles*: the
-pre-pass re-rasterizes and re-tests everything, which is the overhead
-the paper argues "often offsets its potential benefits", while EVR gets
-most of the fragment savings for the price of a table lookup.
-Hierarchical-Z is order-dependent (it can only reject primitives behind
-already-drawn ones), so it shines exactly where EVR's reordering has
-already put the visible geometry first — the two compose.
+Two tables come out of this module, both driven by the technique
+registry (:mod:`repro.techniques`) through a :class:`SuiteRunner` — so
+every cell is memoized, disk-cacheable and ledgered exactly like the
+paper-figure runs:
+
+* :func:`culling_alternatives` — the *exact* mechanisms the paper
+  discusses: software Z-prepass (Section IV-A) and Hierarchical-Z
+  primitive rejection (Section VIII).  The interesting quantity is not
+  just shaded fragments — Z-prepass matches the oracle there by
+  construction — but *total cycles*: the pre-pass re-rasterizes and
+  re-tests everything, which is the overhead the paper argues "often
+  offsets its potential benefits", while EVR gets most of the fragment
+  savings for the price of a table lookup.  Hierarchical-Z is
+  order-dependent (it can only reject primitives behind already-drawn
+  ones), so it shines exactly where EVR's reordering has already put
+  the visible geometry first — the two compose.
+
+* :func:`rival_techniques` — the *approximate* successors from the
+  lineage (DSR, FHV, VR-Pipe-style early termination) against EVR.
+  These trade bounded image error for shading work, so the table
+  carries each technique's distilled extra metric (fragments reused,
+  reconstructed or killed) next to the shared frags/px and
+  normalized-cycles columns.
 """
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from typing import List, Optional, Sequence, Tuple
 
 from ..config import GPUConfig
-from ..pipeline import GPU, PipelineFeatures, PipelineMode
-from ..scenes import benchmark_stream
 from .experiments import ExperimentResult
+from .runner import SuiteRunner
 
-_CONFIGURATIONS: Tuple[Tuple[str, object], ...] = (
-    ("baseline", PipelineMode.BASELINE),
-    ("hiz", PipelineFeatures(hierarchical_z=True)),
-    ("z-prepass", PipelineFeatures(z_prepass=True)),
-    ("evr-reorder", PipelineMode.EVR_REORDER_ONLY),
-    ("evr+hiz", PipelineFeatures(evr_hardware=True, evr_reorder=True,
-                                 hierarchical_z=True)),
-    ("oracle", PipelineMode.ORACLE),
+#: Registered technique names for the paper's culling discussion, in
+#: table order.  The first entry is the normalization reference.
+_MECHANISMS: Tuple[str, ...] = (
+    "baseline", "hiz", "z-prepass", "evr-reorder-only", "evr-hiz", "oracle",
 )
+
+#: Registered technique names for the rival-technique comparison.
+_RIVALS: Tuple[str, ...] = ("baseline", "evr", "dsr", "fhv", "vrpipe-et")
+
+
+def _runner_for(runner: Optional[SuiteRunner],
+                config: Optional[GPUConfig]):
+    """An owned (context-managed) runner when none was passed in."""
+    if runner is not None:
+        return nullcontext(runner)
+    return SuiteRunner(config or GPUConfig.default())
 
 
 def culling_alternatives(
     config: Optional[GPUConfig] = None,
     benchmarks: Sequence[str] = ("tib", "ata"),
+    runner: Optional[SuiteRunner] = None,
 ) -> ExperimentResult:
     """Shaded work and total cycles for each culling mechanism."""
-    config = config or GPUConfig.default()
+    with _runner_for(runner, config) as suite:
+        results = suite.run_many(benchmarks, _MECHANISMS)
     rows: List[List[object]] = []
     for alias in benchmarks:
-        stream = benchmark_stream(alias, config)
-        baseline_cycles: Optional[float] = None
-        for label, features in _CONFIGURATIONS:
-            result = GPU(config, features).render_stream(stream)
-            cycles = result.total_cycles().total
-            if baseline_cycles is None:
-                baseline_cycles = cycles
-            stats = result.total_stats()
+        baseline_cycles = results[(alias, _MECHANISMS[0])].total_cycles
+        for name in _MECHANISMS:
+            metrics = results[(alias, name)]
             rows.append([
                 alias,
-                label,
-                result.shaded_fragments_per_pixel(),
-                cycles / baseline_cycles,
-                stats.hiz_culled,
-                stats.prepass_fragments,
+                name,
+                metrics.shaded_fragments_per_pixel,
+                metrics.total_cycles / baseline_cycles,
+                int(metrics.extra.get("hiz_culled", 0)),
+                int(metrics.extra.get("prepass_fragments", 0)),
             ])
     return ExperimentResult(
         "Analysis",
         "Culling alternatives: fragments saved vs cycles paid",
         ["benchmark", "mechanism", "frags/px", "time (norm)",
          "hiz culled", "prepass fragments"],
+        rows,
+    )
+
+
+def rival_techniques(
+    config: Optional[GPUConfig] = None,
+    benchmarks: Sequence[str] = ("tib", "ata"),
+    runner: Optional[SuiteRunner] = None,
+) -> ExperimentResult:
+    """EVR vs the approximate rivals: shading saved vs cycles paid.
+
+    The ``technique metric`` column is each technique's distilled extra
+    counter (fragments DSR reused, FHV reconstructed, VR-Pipe killed);
+    exact techniques show a dash.
+    """
+    with _runner_for(runner, config) as suite:
+        results = suite.run_many(benchmarks, _RIVALS)
+    rows: List[List[object]] = []
+    for alias in benchmarks:
+        baseline_cycles = results[(alias, _RIVALS[0])].total_cycles
+        for name in _RIVALS:
+            metrics = results[(alias, name)]
+            extra = ", ".join(
+                f"{key}={value:g}" for key, value in
+                sorted(metrics.extra.items())
+            ) or "-"
+            rows.append([
+                alias,
+                name,
+                metrics.shaded_fragments_per_pixel,
+                metrics.total_cycles / baseline_cycles,
+                extra,
+            ])
+    return ExperimentResult(
+        "Analysis",
+        "EVR vs rival techniques: shading saved vs cycles paid",
+        ["benchmark", "technique", "frags/px", "time (norm)",
+         "technique metric"],
         rows,
     )

@@ -11,8 +11,9 @@ from __future__ import annotations
 from typing import List, Optional, Sequence
 
 from ..config import GPUConfig
-from ..pipeline import GPU, PipelineMode
+from ..pipeline import GPU
 from ..scenes import benchmark_stream
+from ..techniques import resolve_technique
 from ..timing import geometry_balance, raster_balance
 from .experiments import ExperimentResult
 
@@ -20,9 +21,10 @@ from .experiments import ExperimentResult
 def pipeline_balance_report(
     config: Optional[GPUConfig] = None,
     benchmarks: Sequence[str] = ("cde", "tib", "300"),
-    mode: PipelineMode = PipelineMode.BASELINE,
+    mode: object = "baseline",
 ) -> ExperimentResult:
     """Bottleneck analysis across benchmarks under one pipeline mode."""
+    mode = resolve_technique(mode)
     config = config or GPUConfig.default()
     rows: List[List[object]] = []
     for alias in benchmarks:

@@ -60,7 +60,7 @@ from ..memsys.ops import (
 from ..obs.events import MetricSample, get_bus
 from ..obs.profile import phase_breakdown
 from ..obs.trace import ChromeTracer, tracing
-from ..pipeline import GPU, PipelineMode
+from ..pipeline import GPU
 from ..scenes import benchmark_stream, scaled_world_stream
 
 
@@ -230,7 +230,7 @@ def _pipeline_measurement(preset: BenchPreset, backend: str,
     config = preset.config()
     capture = _CaptureScheduler()
     recorder = _TraceRecorder(config) if record_trace else None
-    gpu = GPU(config, PipelineMode.EVR, scheduler=capture, backend=backend,
+    gpu = GPU(config, "evr", scheduler=capture, backend=backend,
               memory_system=recorder)
     tracer = ChromeTracer()
     start = time.perf_counter()

@@ -27,7 +27,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from ..config import GPUConfig
-from ..pipeline import PipelineMode
+from ..techniques import BASELINE, EVR, EVR_REORDER_ONLY, ORACLE, RE
 from ..scenes import BENCHMARKS, benchmark_names
 from ..spec import RunSpec
 from .runner import RunMetrics, SuiteRunner
@@ -123,12 +123,12 @@ def figure6_energy(runner: Optional[SuiteRunner] = None,
     runner = runner or _default_runner()
     names = list(benchmarks or benchmark_names())
     # One fan-out for every run this figure needs (parallel under --jobs).
-    runner.prefetch(names, [PipelineMode.BASELINE, PipelineMode.EVR])
+    runner.prefetch(names, [BASELINE, EVR])
     rows: List[List[object]] = []
     normalized: List[float] = []
     for name in names:
-        base = runner.run(name, PipelineMode.BASELINE)
-        evr = runner.run(name, PipelineMode.EVR)
+        base = runner.run(name, BASELINE)
+        evr = runner.run(name, EVR)
         norm = evr.energy_joules / base.energy_joules
         param_overhead = (
             evr.energy_breakdown["parameter_buffer_overhead"]
@@ -159,12 +159,12 @@ def figure7_time(runner: Optional[SuiteRunner] = None,
     runner = runner or _default_runner()
     names = list(benchmarks or benchmark_names())
     # One fan-out for every run this figure needs (parallel under --jobs).
-    runner.prefetch(names, [PipelineMode.BASELINE, PipelineMode.EVR])
+    runner.prefetch(names, [BASELINE, EVR])
     rows: List[List[object]] = []
     normalized: List[float] = []
     for name in names:
-        base = runner.run(name, PipelineMode.BASELINE)
-        evr = runner.run(name, PipelineMode.EVR)
+        base = runner.run(name, BASELINE)
+        evr = runner.run(name, EVR)
         norm = evr.total_cycles / base.total_cycles
         geometry_norm = evr.geometry_cycles / base.total_cycles
         raster_norm = evr.raster_cycles / base.total_cycles
@@ -194,13 +194,13 @@ def figure8_overshading(runner: Optional[SuiteRunner] = None,
     runner = runner or _default_runner()
     names = list(benchmarks or benchmark_names("3D"))
     # One fan-out for every run this figure needs (parallel under --jobs).
-    runner.prefetch(names, [PipelineMode.BASELINE, PipelineMode.EVR_REORDER_ONLY, PipelineMode.ORACLE])
+    runner.prefetch(names, [BASELINE, EVR_REORDER_ONLY, ORACLE])
     rows: List[List[object]] = []
     reductions: List[float] = []
     for name in names:
-        base = runner.run(name, PipelineMode.BASELINE)
-        evr = runner.run(name, PipelineMode.EVR_REORDER_ONLY)
-        oracle = runner.run(name, PipelineMode.ORACLE)
+        base = runner.run(name, BASELINE)
+        evr = runner.run(name, EVR_REORDER_ONLY)
+        oracle = runner.run(name, ORACLE)
         rows.append([
             name,
             base.shaded_fragments_per_pixel,
@@ -228,15 +228,15 @@ def figure9_redundant_tiles(runner: Optional[SuiteRunner] = None,
     runner = runner or _default_runner()
     names = list(benchmarks or benchmark_names())
     # One fan-out for every run this figure needs (parallel under --jobs).
-    runner.prefetch(names, [PipelineMode.RE, PipelineMode.EVR, PipelineMode.ORACLE])
+    runner.prefetch(names, [RE, EVR, ORACLE])
     rows: List[List[object]] = []
     re_rates: List[float] = []
     evr_rates: List[float] = []
     oracle_rates: List[float] = []
     for name in names:
-        re_run = runner.run(name, PipelineMode.RE)
-        evr_run = runner.run(name, PipelineMode.EVR)
-        oracle_run = runner.run(name, PipelineMode.ORACLE)
+        re_run = runner.run(name, RE)
+        evr_run = runner.run(name, EVR)
+        oracle_run = runner.run(name, ORACLE)
         re_rates.append(re_run.redundant_tile_rate)
         evr_rates.append(evr_run.redundant_tile_rate)
         oracle_rates.append(oracle_run.redundant_tile_rate)
@@ -267,12 +267,12 @@ def figure10_energy_vs_re(runner: Optional[SuiteRunner] = None,
     runner = runner or _default_runner()
     names = list(benchmarks or benchmark_names())
     # One fan-out for every run this figure needs (parallel under --jobs).
-    runner.prefetch(names, [PipelineMode.RE, PipelineMode.EVR])
+    runner.prefetch(names, [RE, EVR])
     rows: List[List[object]] = []
     normalized: List[float] = []
     for name in names:
-        re_run = runner.run(name, PipelineMode.RE)
-        evr_run = runner.run(name, PipelineMode.EVR)
+        re_run = runner.run(name, RE)
+        evr_run = runner.run(name, EVR)
         norm = evr_run.energy_joules / re_run.energy_joules
         normalized.append(norm)
         rows.append([name, norm])
@@ -295,14 +295,14 @@ def figure11_time_vs_re(runner: Optional[SuiteRunner] = None,
     runner = runner or _default_runner()
     names = list(benchmarks or benchmark_names())
     # One fan-out for every run this figure needs (parallel under --jobs).
-    runner.prefetch(names, [PipelineMode.BASELINE, PipelineMode.RE, PipelineMode.EVR])
+    runner.prefetch(names, [BASELINE, RE, EVR])
     rows: List[List[object]] = []
     re_norms: List[float] = []
     evr_norms: List[float] = []
     for name in names:
-        base = runner.run(name, PipelineMode.BASELINE)
-        re_run = runner.run(name, PipelineMode.RE)
-        evr_run = runner.run(name, PipelineMode.EVR)
+        base = runner.run(name, BASELINE)
+        re_run = runner.run(name, RE)
+        evr_run = runner.run(name, EVR)
         re_norm = re_run.total_cycles / base.total_cycles
         evr_norm = evr_run.total_cycles / base.total_cycles
         re_norms.append(re_norm)

@@ -29,16 +29,17 @@ from __future__ import annotations
 
 import dataclasses
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..config import GPUConfig
 from ..engine.diskcache import DiskCache, run_cache_key
 from ..engine.scheduler import Scheduler, make_scheduler
+from ..errors import ConfigError
 from ..obs.events import MetricSample, RunFinished, RunStarted, get_bus
 from ..obs.profile import SchedulerProfiler
 from ..obs.trace import get_tracer
-from ..pipeline import GPU, PipelineMode, RunResult
+from ..pipeline import GPU, RunResult
 from ..resilience import (
     FaultPlan,
     JobFailure,
@@ -48,6 +49,7 @@ from ..resilience import (
 )
 from ..scenes import benchmark_names, benchmark_stream
 from ..spec import RunSpec
+from ..techniques import Technique, metric_extras, resolve_technique
 
 
 class _NaNBreakdown(dict):
@@ -75,6 +77,10 @@ class RunMetrics:
         overshading_kills: Early-Z discarded fragments.
         predicted_occluded_rate: fraction of (primitive, tile) pairs EVR
             predicted occluded (0 for non-EVR modes).
+        extra: technique-specific distilled metrics (the registry's
+            metric extractors — e.g. ``hiz_culled`` for Hi-Z,
+            ``dsr_reused_fragments`` for DSR); empty for techniques
+            without extractors.
         error: empty for a real run; the failure description for a cell
             whose simulation failed permanently (graceful degradation —
             all numeric fields are then NaN).
@@ -90,6 +96,7 @@ class RunMetrics:
     redundant_tile_rate: float
     overshading_kills: int
     predicted_occluded_rate: float
+    extra: Dict[str, float] = field(default_factory=dict)
     error: str = ""
 
     @property
@@ -101,7 +108,7 @@ class RunMetrics:
         return bool(self.error)
 
 
-def failed_metrics(benchmark: str, mode: PipelineMode,
+def failed_metrics(benchmark: str, mode: Technique,
                    error: str) -> RunMetrics:
     """The NaN-valued placeholder for a cell that failed permanently."""
     nan = float("nan")
@@ -116,11 +123,12 @@ def failed_metrics(benchmark: str, mode: PipelineMode,
         redundant_tile_rate=nan,
         overshading_kills=0,
         predicted_occluded_rate=nan,
+        extra={},
         error=error,
     )
 
 
-def metrics_from_result(benchmark: str, mode: PipelineMode,
+def metrics_from_result(benchmark: str, mode: Technique,
                         result: RunResult) -> RunMetrics:
     """Distill a :class:`RunResult` into a :class:`RunMetrics`."""
     cycles = result.total_cycles()
@@ -141,12 +149,13 @@ def metrics_from_result(benchmark: str, mode: PipelineMode,
             if stats.predictions_made
             else 0.0
         ),
+        extra=metric_extras(mode.value, result),
     )
 
 
 def run_benchmark(
     benchmark: str,
-    mode: PipelineMode,
+    mode: object,
     config: Optional[GPUConfig] = None,
     frames: Optional[int] = None,
     scheduler: Optional[Scheduler] = None,
@@ -161,6 +170,7 @@ def run_benchmark(
     tile work out (see :mod:`repro.engine`); metrics are identical
     whichever scheduler runs.
     """
+    mode = resolve_technique(mode)
     if spec is None:
         spec = RunSpec.from_config(config or GPUConfig.default())
     config = config or spec.gpu
@@ -189,7 +199,7 @@ def run_benchmark(
 
 
 def _run_pair(
-    payload: Tuple[str, PipelineMode, RunSpec]
+    payload: Tuple[str, Technique, RunSpec]
 ) -> RunMetrics:
     """Process-pool entry point for one (benchmark, mode) simulation."""
     benchmark, mode, spec = payload
@@ -266,13 +276,13 @@ class SuiteRunner:
         self.fault_plan = fault_plan
         self.strict = strict or spec.resilience.strict
         resume = resume or spec.resilience.resume
-        self._cache: Dict[Tuple[str, PipelineMode], RunMetrics] = {}
+        self._cache: Dict[Tuple[str, Technique], RunMetrics] = {}
         self._disk = DiskCache(cache_dir) if cache_dir else None
         self._scheduler: Optional[Scheduler] = None
         self.cache_hits = 0
         self.cache_misses = 0
         self.journal_hits = 0
-        self.failures: Dict[Tuple[str, PipelineMode], JobFailure] = {}
+        self.failures: Dict[Tuple[str, Technique], JobFailure] = {}
         self._journal: Optional[RunJournal] = None
         if journal_dir:
             self._journal = RunJournal.for_spec(journal_dir, spec)
@@ -322,20 +332,20 @@ class SuiteRunner:
             if entry.get("status") != "ok":
                 continue  # failed cells are retried on resume
             try:
-                mode = PipelineMode(mode_value)
+                mode = resolve_technique(mode_value)
                 metrics = RunMetrics(**entry["metrics"])
-            except (KeyError, TypeError, ValueError):
+            except (KeyError, TypeError, ValueError, ConfigError):
                 continue  # journal written by an incompatible layout
             self._cache[(benchmark, mode)] = metrics
             self.journal_hits += 1
 
     # -- disk cache ---------------------------------------------------------
 
-    def _disk_key(self, benchmark: str, mode: PipelineMode) -> str:
+    def _disk_key(self, benchmark: str, mode: Technique) -> str:
         return run_cache_key(self.spec, benchmark, mode.value)
 
     def _load_cached(self, benchmark: str,
-                     mode: PipelineMode) -> Optional[RunMetrics]:
+                     mode: Technique) -> Optional[RunMetrics]:
         if self._disk is None:
             return None
         value = self._disk.get(self._disk_key(benchmark, mode))
@@ -344,7 +354,7 @@ class SuiteRunner:
             return value
         return None
 
-    def _store(self, key: Tuple[str, PipelineMode],
+    def _store(self, key: Tuple[str, Technique],
                metrics: RunMetrics, to_disk: bool) -> None:
         self._cache[key] = metrics
         if to_disk and self._disk is not None:
@@ -353,7 +363,7 @@ class SuiteRunner:
             self._journal.record_ok(key[0], key[1].value,
                                     dataclasses.asdict(metrics))
 
-    def _record_failure(self, key: Tuple[str, PipelineMode],
+    def _record_failure(self, key: Tuple[str, Technique],
                         failure: JobFailure) -> None:
         """Graceful degradation: the cell completes as a NaN placeholder
         and the sweep carries on; ``--strict`` turns it into a non-zero
@@ -378,7 +388,7 @@ class SuiteRunner:
             summary += f"; {len(self.failures)} cells FAILED"
         return summary
 
-    def results(self) -> Dict[Tuple[str, PipelineMode], RunMetrics]:
+    def results(self) -> Dict[Tuple[str, Technique], RunMetrics]:
         """A snapshot of every memoized (benchmark, mode) result — the
         run ledger records these per invocation."""
         return dict(self._cache)
@@ -410,7 +420,8 @@ class SuiteRunner:
 
     # -- running ------------------------------------------------------------
 
-    def run(self, benchmark: str, mode: PipelineMode) -> RunMetrics:
+    def run(self, benchmark: str, mode: object) -> RunMetrics:
+        mode = resolve_technique(mode)
         key = (benchmark, mode)
         if key not in self._cache:
             cached = self._load_cached(benchmark, mode)
@@ -426,13 +437,14 @@ class SuiteRunner:
         return self._cache[key]
 
     def run_many(
-        self, benchmarks: Sequence[str], modes: Sequence[PipelineMode]
+        self, benchmarks: Sequence[str], modes: Sequence[object]
     ) -> Dict[Tuple[str, str], RunMetrics]:
         """Run the (benchmark, mode) cross product, fanning uncached pairs
         out through the suite scheduler when ``jobs > 1``."""
+        techniques = [resolve_technique(mode) for mode in modes]
         pairs = [(benchmark, mode) for benchmark in benchmarks
-                 for mode in modes]
-        missing: List[Tuple[str, PipelineMode]] = []
+                 for mode in techniques]
+        missing: List[Tuple[str, Technique]] = []
         for key in pairs:
             if key in self._cache:
                 continue
@@ -503,7 +515,7 @@ class SuiteRunner:
 
 
 def run_suite(
-    modes: Sequence[PipelineMode],
+    modes: Sequence[object],
     config: Optional[GPUConfig] = None,
     frames: Optional[int] = None,
     benchmarks: Optional[Sequence[str]] = None,

@@ -67,6 +67,20 @@ class PipelineFeatures:
             Intra-frame and order-dependent, unlike EVR's cross-frame
             FVP; safe by construction because unwritten pixels hold the
             far clear depth.
+        dsr: Dynamic Sampling Rate — shade tiles whose coarse signature
+            has been stable across frames at a fractional rate (1x2 or
+            2x2 blocks, anchor color replicated).  Approximate: trades
+            bounded blur for shading work (``repro.techniques.dsr``).
+        fhv: Fragment-History-Volume-style reconstruction — for
+            predicted-occluded opaque primitives, write the previous
+            frame's framebuffer colors instead of shading.  Requires
+            ``evr_hardware`` (the FVP makes the occlusion prediction).
+            Approximate: mispredictions show last frame's pixels.
+        vrpipe_early_termination: VR-Pipe-style opacity-threshold kill —
+            drop blended fragments whose contribution to the pixel
+            cannot exceed ``vrpipe_threshold`` per channel.
+        vrpipe_threshold: the per-channel contribution (0..1 color
+            scale) below which a blended fragment is killed.
     """
 
     early_z: bool = True
@@ -81,6 +95,10 @@ class PipelineFeatures:
     subtile_fvp: bool = False
     z_prepass: bool = False
     hierarchical_z: bool = False
+    dsr: bool = False
+    fhv: bool = False
+    vrpipe_early_termination: bool = False
+    vrpipe_threshold: float = 1.0 / 255.0
 
     def __post_init__(self) -> None:
         if self.evr_reorder and not self.evr_hardware:
@@ -103,6 +121,10 @@ class PipelineFeatures:
             )
         if self.z_prepass and self.oracle_z:
             raise ConfigError("z_prepass and oracle_z are exclusive")
+        if self.fhv and not self.evr_hardware:
+            raise ConfigError("fhv requires evr_hardware")
+        if self.vrpipe_threshold < 0.0:
+            raise ConfigError("vrpipe_threshold must be >= 0")
 
     @property
     def uses_layers(self) -> bool:
@@ -110,7 +132,14 @@ class PipelineFeatures:
 
 
 class PipelineMode(enum.Enum):
-    """The paper's named configurations."""
+    """Compatibility shim for the paper's named configurations.
+
+    The mode axis now lives in :mod:`repro.techniques` — an open
+    registry where the paper modes are simply the first five entries.
+    This enum survives for callers written against the original closed
+    axis; it resolves through the registry, so the feature constructions
+    are defined exactly once (``repro/techniques/catalog.py``).
+    """
 
     BASELINE = "baseline"
     RE = "re"
@@ -120,19 +149,6 @@ class PipelineMode(enum.Enum):
 
     def features(self) -> PipelineFeatures:
         """The feature-flag combination this mode stands for."""
-        if self is PipelineMode.BASELINE:
-            return PipelineFeatures()
-        if self is PipelineMode.RE:
-            return PipelineFeatures(rendering_elimination=True)
-        if self is PipelineMode.EVR:
-            return PipelineFeatures(
-                rendering_elimination=True,
-                evr_hardware=True,
-                evr_reorder=True,
-                evr_signature_filter=True,
-            )
-        if self is PipelineMode.EVR_REORDER_ONLY:
-            return PipelineFeatures(evr_hardware=True, evr_reorder=True)
-        if self is PipelineMode.ORACLE:
-            return PipelineFeatures(oracle_z=True, oracle_redundancy=True)
-        raise ConfigError(f"unhandled mode {self}")  # pragma: no cover
+        from ..techniques import get_technique
+
+        return get_technique(self.value).features()

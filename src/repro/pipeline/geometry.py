@@ -32,6 +32,7 @@ from ..hw.parameter_buffer import (
 from ..math3d import Mat4, Vec2, viewport
 from ..memsys import MemorySystem
 from ..obs.trace import get_tracer
+from ..techniques.dsr import dsr_signature
 from ..timing import FrameStats
 from .features import PipelineFeatures
 
@@ -55,6 +56,7 @@ class GeometryPipeline:
         lgt: Optional[LayerGeneratorTable],
         predictor: Optional[VisibilityPredictor],
         rendering_elimination: Optional[RenderingElimination],
+        dsr=None,
     ):
         self.config = config
         self.features = features
@@ -63,6 +65,7 @@ class GeometryPipeline:
         self.lgt = lgt
         self.predictor = predictor
         self.re = rendering_elimination
+        self.dsr = dsr
         self._viewport = viewport(config.screen_width, config.screen_height)
         self._pointer_cursor = 0
         self._vertex_base = 0
@@ -246,6 +249,9 @@ class GeometryPipeline:
             if self.re is not None
             else 0
         )
+        # DSR tracks tile stability with a *coarse* signature so slow
+        # sub-pixel motion still reads as stable (repro.techniques.dsr).
+        dsr_crc = dsr_signature(triangle) if self.dsr is not None else 0
 
         prepass = features.z_prepass and triangle.writes_z
         if prepass:
@@ -317,3 +323,7 @@ class GeometryPipeline:
                     stats.signature_updates += 1
                 else:
                     stats.signature_skips += 1
+
+            if self.dsr is not None:
+                self.dsr.on_primitive_binned(tile, dsr_crc)
+                stats.signature_updates += 1

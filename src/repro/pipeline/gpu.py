@@ -30,6 +30,8 @@ from ..kernels import normalize_backend
 from ..memsys import create_memory_system
 from ..obs.events import PhaseCompleted, cache_ops_of, get_bus
 from ..obs.trace import get_tracer
+from ..techniques.dsr import DSRController
+from ..techniques.registry import resolve_features
 from ..timing import CostModel, CostParameters, FrameStats, StatsAccumulator
 from ..energy import EnergyBreakdown, EnergyModel, EnergyParameters
 from .features import PipelineFeatures, PipelineMode
@@ -190,15 +192,16 @@ class GPU:
     def __init__(
         self,
         config: GPUConfig,
-        features: Union[PipelineFeatures, PipelineMode] = PipelineMode.BASELINE,
+        features: Union[PipelineFeatures, PipelineMode, str] = "baseline",
         cost_params: CostParameters = CostParameters(),
         energy_params: EnergyParameters = EnergyParameters(),
         scheduler: Optional[Scheduler] = None,
         backend: Optional[str] = None,
         memory_system=None,
     ):
-        if isinstance(features, PipelineMode):
-            features = features.features()
+        # ``features`` accepts raw flags, a registered technique name
+        # (or alias), a Technique descriptor or the legacy PipelineMode.
+        features = resolve_features(features)
         self.config = config
         self.features = features
         self.scheduler = scheduler
@@ -235,18 +238,21 @@ class GPU:
         self.comparator = (
             OracleTileComparator() if features.oracle_redundancy else None
         )
+        self.dsr = DSRController(config.num_tiles) if features.dsr else None
         self.cost_model = CostModel(config, cost_params)
         self.energy_model = EnergyModel(config, energy_params)
 
         self.geometry = GeometryPipeline(
             config, features, self.memory, self.parameter_buffer,
             self.lgt, self.predictor, self.re,
+            dsr=self.dsr,
         )
         self.raster = RasterPipeline(
             config, features, self.memory, self.parameter_buffer,
             self.predictor, self.re, self.comparator,
             scheduler=scheduler,
             backend=self.backend,
+            dsr=self.dsr,
         )
         self._previous_image: Optional[np.ndarray] = None
         self._rendering = False
@@ -255,7 +261,7 @@ class GPU:
     def from_spec(
         cls,
         spec,
-        mode: Union[PipelineFeatures, PipelineMode] = PipelineMode.BASELINE,
+        mode: Union[PipelineFeatures, PipelineMode, str] = "baseline",
         scheduler: Optional[Scheduler] = None,
         config: Optional[GPUConfig] = None,
     ) -> "GPU":
@@ -271,11 +277,9 @@ class GPU:
         rides in ``spec.scheduler.backend`` (execution policy, outside
         the spec hash — backends are bit-identical).
         """
-        if isinstance(mode, PipelineMode):
-            mode = mode.features()
         return cls(
             config=config if config is not None else spec.gpu,
-            features=spec.features.apply(mode),
+            features=spec.features.apply(resolve_features(mode)),
             cost_params=spec.cost,
             energy_params=spec.energy,
             scheduler=scheduler,
@@ -351,6 +355,8 @@ class GPU:
         # -- end of frame --
         if self.re is not None:
             self.re.end_frame()
+        if self.dsr is not None:
+            self.dsr.end_frame()
         if self.comparator is not None:
             self.comparator.end_frame()
         self._previous_image = image

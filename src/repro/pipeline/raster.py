@@ -60,6 +60,7 @@ class RasterPipeline:
         comparator: Optional[OracleTileComparator],
         scheduler: Optional[Scheduler] = None,
         backend: str = DEFAULT_BACKEND,
+        dsr=None,
     ):
         self.config = config
         self.features = features
@@ -70,6 +71,7 @@ class RasterPipeline:
         self.comparator = comparator
         self.scheduler: Scheduler = scheduler or SerialScheduler()
         self.backend = normalize_backend(backend)
+        self.dsr = dsr
 
     def render_frame(
         self,
@@ -110,6 +112,15 @@ class RasterPipeline:
                             self.parameter_buffer.attribute_bytes_per_primitive
                         ),
                         backend=self.backend,
+                        # Technique inputs are resolved here, parent-side,
+                        # so every scheduler renders bit-identically.
+                        dsr_rate=(
+                            self.dsr.rate_for_tile(tile)
+                            if self.dsr is not None else 1.0
+                        ),
+                        history=self._tile_history(
+                            tile_x, tile_y, previous_image
+                        ),
                     ))
 
         with tracer.span("execute", category="raster", tiles=len(jobs)):
@@ -197,6 +208,29 @@ class RasterPipeline:
             )
 
     # -- helpers ---------------------------------------------------------------------
+
+    def _tile_history(
+        self,
+        tile_x: int,
+        tile_y: int,
+        previous_image: Optional[np.ndarray],
+    ) -> Optional[np.ndarray]:
+        """Previous-frame framebuffer slice for FHV reconstruction.
+
+        Returns a full tile-sized array (edge tiles clear-padded) or
+        None when the feature is off / on the first frame.
+        """
+        if not self.features.fhv or previous_image is None:
+            return None
+        config = self.config
+        rows, cols = self._tile_region(tile_x, tile_y)
+        history = np.empty(
+            (config.tile_height, config.tile_width, 4),
+            dtype=previous_image.dtype,
+        )
+        history[:, :] = config.clear_color
+        history[:rows.shape[0], :cols.shape[1]] = previous_image[rows, cols]
+        return history
 
     def _tile_region(self, tile_x: int, tile_y: int):
         """Index arrays selecting the tile's on-screen pixels (shared

@@ -66,9 +66,15 @@ from .config import GPUConfig
 from .energy import EnergyParameters
 from .errors import ConfigError, SpecError
 from .obs.log import verbosity_from_flags, warn_once
-from .pipeline.features import PipelineFeatures, PipelineMode
+from .pipeline.features import PipelineFeatures
 from .resilience.faults import FaultPlan
 from .resilience.policy import RetryPolicy
+from .techniques import (
+    Technique,
+    get_technique,
+    resolve_features,
+    unknown_mode_message,
+)
 from .timing import CostParameters
 
 #: Environment variables folded into the spec's ``env`` layer, mapped to
@@ -92,20 +98,25 @@ class WorkloadSpec:
     for figures/reports; an error for ``run``, which needs at least one.
     Benchmark aliases are validated lazily against the scene registry by
     the consumer (the registry is a heavyweight import); mode values are
-    validated eagerly here.
+    validated eagerly here against the technique registry
+    (:mod:`repro.techniques`) and canonicalized, so an alias
+    (``vrpipe``) and its canonical name (``vrpipe-et``) hash — and
+    cache — identically.
     """
 
     benchmarks: Tuple[str, ...] = ()
     modes: Tuple[str, ...] = ("baseline", "re", "evr")
 
     def __post_init__(self) -> None:
-        known = {mode.value for mode in PipelineMode}
+        canonical: List[str] = []
         for mode in self.modes:
-            if mode not in known:
+            try:
+                canonical.append(get_technique(mode).value)
+            except ConfigError:
                 raise SpecError(
-                    f"workload.modes: unknown mode {mode!r} "
-                    f"(expected one of {', '.join(sorted(known))})"
-                )
+                    f"workload.modes: {unknown_mode_message(mode)}"
+                ) from None
+        object.__setattr__(self, "modes", tuple(canonical))
         if not self.modes:
             raise SpecError("workload.modes must name at least one mode")
         for benchmark in self.benchmarks:
@@ -114,8 +125,8 @@ class WorkloadSpec:
                     f"workload.benchmarks: invalid alias {benchmark!r}"
                 )
 
-    def pipeline_modes(self) -> Tuple[PipelineMode, ...]:
-        return tuple(PipelineMode(mode) for mode in self.modes)
+    def pipeline_modes(self) -> Tuple[Technique, ...]:
+        return tuple(get_technique(mode) for mode in self.modes)
 
 
 @dataclass(frozen=True)
@@ -142,10 +153,16 @@ class FeatureOverrides:
     subtile_fvp: Optional[bool] = None
     z_prepass: Optional[bool] = None
     hierarchical_z: Optional[bool] = None
+    dsr: Optional[bool] = None
+    fhv: Optional[bool] = None
+    vrpipe_early_termination: Optional[bool] = None
+    vrpipe_threshold: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.fvp_history is not None and self.fvp_history < 1:
             raise SpecError("features.fvp_history must be >= 1")
+        if self.vrpipe_threshold is not None and self.vrpipe_threshold < 0.0:
+            raise SpecError("features.vrpipe_threshold must be >= 0")
         if self.prediction_point is not None and self.prediction_point not in (
             "near", "centroid", "far"
         ):
@@ -372,13 +389,12 @@ class RunSpec:
 
     # -- derived ------------------------------------------------------------
 
-    def features_for(self, mode: Union[PipelineMode, PipelineFeatures]
+    def features_for(self, mode: Union[Technique, PipelineFeatures, str]
                      ) -> PipelineFeatures:
-        """The concrete feature set for ``mode`` under this spec's
-        overrides."""
-        if isinstance(mode, PipelineMode):
-            mode = mode.features()
-        return self.features.apply(mode)
+        """The concrete feature set for ``mode`` (any technique
+        designator the registry resolves, or a raw feature set) under
+        this spec's overrides."""
+        return self.features.apply(resolve_features(mode))
 
     def diff(self, other: "RunSpec") -> List[Tuple[str, Any, Any]]:
         """Field-wise differences: ``(dotted_path, self_value,

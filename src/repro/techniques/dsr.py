@@ -1,0 +1,129 @@
+"""Dynamic Sampling Rate (DSR): per-tile fractional shading rates.
+
+A functional model of Anglada et al.'s follow-up technique: instead of
+skipping *whole* redundant tiles (Rendering Elimination), DSR lowers the
+fragment-shading rate of tiles whose content has been *stable* across
+recent frames, shading one fragment per 1x2 or 2x2 block and replicating
+its color to the block's other fragments.
+
+The model reuses the paper's signature machinery (:class:`SignatureBuffer`)
+but feeds it a *coarse* signature — window positions quantized to whole
+pixels, depths and attributes to small steps — so slow sub-pixel motion
+still reads as "stable" and gets downsampled.  That is the essential
+difference from RE: RE's exact signature must never false-match (a skip
+is all-or-nothing), while DSR's coarse signature is allowed to match
+across visually-similar frames because the cost of being wrong is bounded
+blur, not a wrong tile.
+
+Per frame, each tile's stability streak selects a rate:
+
+=========  ====  ==================================
+streak     rate  meaning
+=========  ====  ==================================
+0          1.0   full shading (content changing)
+>= 1       0.5   1x2 blocks: one shaded, one reused
+>= 3       0.25  2x2 blocks: one shaded, three reused
+=========  ====  ==================================
+
+The rate is resolved parent-side when tile jobs are scheduled (never
+inside workers), so process-pool and serial schedulers stay
+bit-identical.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from typing import List
+
+from ..hw.signature_buffer import SignatureBuffer
+
+__all__ = ["dsr_signature", "DSRController", "DSR_RATES"]
+
+#: Quantization steps for the coarse stability signature.
+_QUANT_XY = 1.0        # window-space pixels
+_QUANT_Z = 1.0 / 128.0
+_QUANT_ATTR = 1.0 / 256.0
+
+#: The discrete sampling rates the controller can select.
+DSR_RATES = (1.0, 0.5, 0.25)
+
+
+def _quantize(value: float, step: float) -> int:
+    return int(round(value / step))
+
+
+def dsr_signature(triangle) -> int:
+    """Coarse CRC32 of a :class:`ScreenTriangle` for stability tracking.
+
+    Unlike ``RenderingElimination.primitive_crc`` (full f64 positions —
+    must never false-match), this quantizes positions to whole pixels,
+    depths to 1/128 and attributes to 1/256 so near-identical frames
+    produce equal signatures.
+    """
+    parts: List[bytes] = [triangle.state.pack()]
+    for position, depth, attrs in zip(
+        triangle.xy, triangle.z, triangle.attributes
+    ):
+        parts.append(struct.pack(
+            "<3i",
+            _quantize(position.x, _QUANT_XY),
+            _quantize(position.y, _QUANT_XY),
+            _quantize(depth, _QUANT_Z),
+        ))
+        parts.append(struct.pack(
+            "<9i",
+            _quantize(attrs.color.x, _QUANT_ATTR),
+            _quantize(attrs.color.y, _QUANT_ATTR),
+            _quantize(attrs.color.z, _QUANT_ATTR),
+            _quantize(attrs.color.w, _QUANT_ATTR),
+            _quantize(attrs.uv.x, _QUANT_ATTR),
+            _quantize(attrs.uv.y, _QUANT_ATTR),
+            _quantize(attrs.normal.x, _QUANT_ATTR),
+            _quantize(attrs.normal.y, _QUANT_ATTR),
+            _quantize(attrs.normal.z, _QUANT_ATTR),
+        ))
+    return zlib.crc32(b"".join(parts))
+
+
+class DSRController:
+    """Tracks per-tile coarse-signature stability and selects rates.
+
+    Lives on the GPU (parent process) next to ``RenderingElimination``:
+    the geometry pipeline feeds it one coarse CRC per (primitive, tile)
+    during binning, the raster pipeline asks :meth:`rate_for_tile` when
+    building each :class:`TileJob`, and the GPU calls :meth:`end_frame`
+    after every frame.
+    """
+
+    HALF_RATE_STREAK = 1
+    QUARTER_RATE_STREAK = 3
+
+    def __init__(self, num_tiles: int) -> None:
+        self.num_tiles = num_tiles
+        self.signatures = SignatureBuffer(num_tiles)
+        #: consecutive frames each tile's coarse signature has matched.
+        self.stability: List[int] = [0] * num_tiles
+
+    def on_primitive_binned(self, tile: int, coarse_crc: int) -> None:
+        """Fold one primitive's coarse signature into the tile."""
+        self.signatures.update(tile, coarse_crc)
+
+    def rate_for_tile(self, tile: int) -> float:
+        """The sampling rate for this tile *this* frame (from streaks
+        established by previous frames' :meth:`end_frame`)."""
+        streak = self.stability[tile]
+        if streak >= self.QUARTER_RATE_STREAK:
+            return 0.25
+        if streak >= self.HALF_RATE_STREAK:
+            return 0.5
+        return 1.0
+
+    def end_frame(self) -> None:
+        """Advance stability streaks and rotate the signature buffer."""
+        for tile in range(self.num_tiles):
+            if self.signatures.matches_previous(tile):
+                self.stability[tile] += 1
+            else:
+                self.stability[tile] = 0
+        self.signatures.rotate_frame()

@@ -69,6 +69,15 @@ class FrameStats:
         prepass_depth_writes: Z-buffer writes made by the pre-pass.
         hiz_tests: Hierarchical-Z primitive rejection tests.
         hiz_culled: primitives skipped entirely by Hierarchical-Z.
+        dsr_reused_fragments: fragments whose color was replicated from
+            a shaded block anchor instead of shaded (``dsr`` feature).
+        fhv_reconstructed: fragments written from previous-frame
+            framebuffer history instead of shaded (``fhv`` feature).
+        fhv_reconstruction_error: summed |true - history| color error
+            (per channel, 0..1 scale) over reconstructed fragments —
+            the FHV reconstruction-quality metric.
+        vrpipe_killed: blended fragments dropped by the VR-Pipe-style
+            opacity-threshold early termination.
     """
 
     # geometry
@@ -114,6 +123,11 @@ class FrameStats:
     # Hierarchical-Z primitive culling
     hiz_tests: int = 0
     hiz_culled: int = 0
+    # rival techniques (repro.techniques catalog)
+    dsr_reused_fragments: int = 0
+    fhv_reconstructed: int = 0
+    fhv_reconstruction_error: float = 0.0
+    vrpipe_killed: int = 0
     # prediction bookkeeping (EVR).  The four ``*_correct`` / ``*_hidden``
     # / ``mispredicted_visible`` counters form the FVP confusion matrix
     # over *validated* predictions — (primitive, tile) pairs that reached

@@ -1,20 +1,27 @@
-"""Cross-mode validation: prove the optimizations change nothing visible.
+"""Cross-technique validation: prove each technique honors its contract.
 
-Runs a frame stream under every pipeline mode and checks the library's
-correctness contracts:
+Runs a frame stream under every registered technique
+(:mod:`repro.techniques`) and checks the library's correctness
+contracts:
 
-1. BASELINE, RE, EVR, EVR-reorder-only and ORACLE render pixel-identical
-   frames.
-2. Shaded-fragment ordering: Oracle <= EVR-reordered <= Baseline.
-3. EVR never skips more tiles than are pixel-identical (oracle bound).
+1. **Pixel-exact techniques** (the paper modes, Z-prepass, Hi-Z, ...)
+   render frames bit-identical to the baseline.
+2. **Approximate techniques** (DSR, FHV, VR-Pipe-style early
+   termination) stay within their registered per-frame mean color-error
+   tolerance against baseline *and* never shade more fragments than the
+   baseline — an approximation that saves nothing is a bug.
+3. Shaded-fragment ordering: Oracle <= EVR-reordered <= Baseline.
+4. EVR never skips more tiles than are pixel-identical (oracle bound).
 
 Passing more than one kernel backend makes the run *differential*: the
-same modes are rendered under each backend and every (mode, backend)
-image is compared against the first backend's baseline, which folds the
-backend bit-identity contract (scalar reference vs batched numpy — see
-:mod:`repro.kernels`) into the same report.  The ``corruptor`` hook lets
-the corpus gate (:mod:`repro.corpus.gate`) damage rendered results
-deterministically to prove the comparison actually detects diffs.
+same techniques are rendered under each backend.  Exact techniques are
+compared against the first backend's baseline; approximate techniques
+are compared against *their own* rendering under the first backend —
+approximation is a modelling choice, backend divergence is a bug, so the
+cross-backend contract stays bit-identity for every technique.  The
+``corruptor`` hook lets the corpus gate (:mod:`repro.corpus.gate`)
+damage rendered results deterministically to prove the comparison
+actually detects diffs.
 
 Exposed as :func:`validate_stream` for library users and as
 ``python -m repro validate <benchmark>`` on the command line.
@@ -30,7 +37,8 @@ import numpy as np
 from .commands import FrameStream
 from .config import GPUConfig
 from .kernels import DEFAULT_BACKEND, normalize_backend
-from .pipeline import GPU, PipelineMode, RunResult
+from .pipeline import GPU, RunResult
+from .techniques import Technique, default_modes, resolve_technique
 
 #: Hook applied to every rendered result before comparison:
 #: ``(mode_value, backend, result) -> result``.
@@ -39,7 +47,7 @@ Corruptor = Callable[[str, str, RunResult], RunResult]
 
 @dataclass
 class ValidationReport:
-    """Outcome of one cross-mode validation run."""
+    """Outcome of one cross-technique validation run."""
 
     frames: int
     checks: List[str] = field(default_factory=list)
@@ -66,15 +74,6 @@ class ValidationReport:
         return "\n".join(lines)
 
 
-_MODES = (
-    PipelineMode.BASELINE,
-    PipelineMode.RE,
-    PipelineMode.EVR,
-    PipelineMode.EVR_REORDER_ONLY,
-    PipelineMode.ORACLE,
-)
-
-
 def _images_equal(expected: RunResult, actual: RunResult) -> bool:
     return all(
         np.array_equal(a.image, b.image)
@@ -82,19 +81,31 @@ def _images_equal(expected: RunResult, actual: RunResult) -> bool:
     )
 
 
+def _max_frame_error(expected: RunResult, actual: RunResult) -> float:
+    """Worst per-frame mean absolute color error (per channel, 0..1)."""
+    return max(
+        (float(np.abs(a.image - b.image).mean())
+         for a, b in zip(expected.frames, actual.frames)),
+        default=0.0,
+    )
+
+
 def validate_stream(
     stream: FrameStream,
     config: Optional[GPUConfig] = None,
-    modes: tuple = _MODES,
+    modes: Optional[Sequence[object]] = None,
     backends: Optional[Sequence[str]] = None,
     corruptor: Optional[Corruptor] = None,
 ) -> ValidationReport:
-    """Run ``stream`` under every (mode, backend) and check contracts.
+    """Run ``stream`` under every (technique, backend), check contracts.
 
     Args:
         stream: the frames to validate.
         config: GPU configuration (default :meth:`GPUConfig.default`).
-        modes: pipeline modes to cross-compare.
+        modes: technique designators (names, Techniques or legacy
+            ``PipelineMode`` members) to cross-compare; ``None`` takes
+            every registered technique, so the matrix grows as
+            techniques are registered.
         backends: kernel backends to render under.  ``None`` keeps the
             single default backend and the report's historical check
             labels; two or more makes the run differential.
@@ -103,6 +114,10 @@ def validate_stream(
             validation.
     """
     config = config or GPUConfig.default()
+    techniques: Tuple[Technique, ...] = (
+        default_modes() if modes is None
+        else tuple(resolve_technique(mode) for mode in modes)
+    )
     if backends is None:
         resolved_backends: Tuple[str, ...] = (DEFAULT_BACKEND,)
     else:
@@ -111,40 +126,71 @@ def validate_stream(
     differential = len(resolved_backends) > 1
     report = ValidationReport(frames=len(stream))
 
-    results: Dict[Tuple[PipelineMode, str], RunResult] = {}
+    results: Dict[Tuple[str, str], RunResult] = {}
     for backend in resolved_backends:
-        for mode in modes:
-            result = GPU(config, mode, backend=backend).render_stream(stream)
+        for technique in techniques:
+            result = GPU(
+                config, technique, backend=backend
+            ).render_stream(stream)
             if corruptor is not None:
-                result = corruptor(mode.value, backend, result)
-            results[(mode, backend)] = result
+                result = corruptor(technique.value, backend, result)
+            results[(technique.value, backend)] = result
 
     reference_backend = resolved_backends[0]
-    baseline = results.get((PipelineMode.BASELINE, reference_backend))
-    if baseline is not None:
-        for (mode, backend), result in results.items():
-            if (mode is PipelineMode.BASELINE
-                    and backend == reference_backend):
+    baseline = results.get(("baseline", reference_backend))
+    for (name, backend), result in results.items():
+        technique = next(t for t in techniques if t.value == name)
+        at_reference = backend == reference_backend
+        if technique.pixel_exact:
+            if baseline is None or (name == "baseline" and at_reference):
                 continue
             if differential:
-                label = (f"{mode.value}[{backend}]: pixel-identical to "
+                label = (f"{name}[{backend}]: pixel-identical to "
                          f"baseline[{reference_backend}]")
             else:
-                label = f"{mode.value}: images pixel-identical to baseline"
+                label = f"{name}: images pixel-identical to baseline"
             report.record(label, _images_equal(baseline, result))
+        elif at_reference:
+            if baseline is None:
+                continue
+            tolerance = technique.error_tolerance
+            suffix = f"[{backend}]" if differential else ""
+            error = _max_frame_error(baseline, result)
+            report.record(
+                f"{name}{suffix}: mean color error {error:.5f} <= "
+                f"{tolerance:g} vs baseline",
+                error <= tolerance,
+            )
+            base_shaded = baseline.total_stats(warmup=0).fragments_shaded
+            shaded = result.total_stats(warmup=0).fragments_shaded
+            report.record(
+                f"{name}{suffix}: shaded fragments <= baseline",
+                shaded <= base_shaded,
+            )
+        else:
+            # Approximation is a modelling choice; backend divergence is
+            # a bug.  Cross-backend stays a bit-identity contract.
+            report.record(
+                f"{name}[{backend}]: pixel-identical to "
+                f"{name}[{reference_backend}]",
+                _images_equal(results[(name, reference_backend)], result),
+            )
 
     for backend in resolved_backends:
         suffix = f" [{backend}]" if differential else ""
-        if (PipelineMode.EVR_REORDER_ONLY, backend) in results and (
-                PipelineMode.ORACLE, backend) in results:
+        if (
+            ("baseline", backend) in results
+            and ("evr-reorder-only", backend) in results
+            and ("oracle", backend) in results
+        ):
             base_shaded = results[
-                (PipelineMode.BASELINE, backend)
+                ("baseline", backend)
             ].total_stats(warmup=0).fragments_shaded
             reorder_shaded = results[
-                (PipelineMode.EVR_REORDER_ONLY, backend)
+                ("evr-reorder-only", backend)
             ].total_stats(warmup=0).fragments_shaded
             oracle_shaded = results[
-                (PipelineMode.ORACLE, backend)
+                ("oracle", backend)
             ].total_stats(warmup=0).fragments_shaded
             report.record(
                 "shaded fragments: oracle <= evr-reordered <= baseline"
@@ -152,13 +198,12 @@ def validate_stream(
                 oracle_shaded <= reorder_shaded <= base_shaded,
             )
 
-        if (PipelineMode.EVR, backend) in results and (
-                PipelineMode.ORACLE, backend) in results:
-            evr_skipped = results[(PipelineMode.EVR, backend)].total_stats(
+        if ("evr", backend) in results and ("oracle", backend) in results:
+            evr_skipped = results[("evr", backend)].total_stats(
                 warmup=0
             ).tiles_skipped
             oracle_equal = results[
-                (PipelineMode.ORACLE, backend)
+                ("oracle", backend)
             ].comparator.tiles_equal
             report.record(
                 "EVR tile skips within the pixel-exact oracle bound"

@@ -146,7 +146,20 @@ class TestAlternativesHarness:
                                       benchmarks=["tib"])
         mechanisms = [row[1] for row in result.rows]
         assert mechanisms == ["baseline", "hiz", "z-prepass",
-                              "evr-reorder", "evr+hiz", "oracle"]
+                              "evr-reorder-only", "evr-hiz", "oracle"]
         frags = {row[1]: row[2] for row in result.rows}
         assert frags["z-prepass"] == pytest.approx(frags["oracle"])
-        assert frags["oracle"] <= frags["evr-reorder"] <= frags["baseline"]
+        assert (frags["oracle"] <= frags["evr-reorder-only"]
+                <= frags["baseline"])
+
+    def test_rivals_report_shape(self):
+        from repro.harness.alternatives import rival_techniques
+
+        result = rival_techniques(GPUConfig.tiny(frames=3),
+                                  benchmarks=["tib"])
+        techniques = [row[1] for row in result.rows]
+        assert techniques == ["baseline", "evr", "dsr", "fhv", "vrpipe-et"]
+        frags = {row[1]: row[2] for row in result.rows}
+        # Approximate rivals never shade more than baseline.
+        for name in ("evr", "dsr", "fhv", "vrpipe-et"):
+            assert frags[name] <= frags["baseline"]

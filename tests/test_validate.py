@@ -4,7 +4,25 @@ import pytest
 
 from repro import GPUConfig
 from repro.scenes import benchmark_stream
+from repro.techniques import default_modes
 from repro.validate import ValidationReport, validate_stream
+
+
+def _expected_checks(backends: int) -> int:
+    """Check count for the full registered matrix, derived from the
+    registry so the tests scale as techniques are registered."""
+    techniques = default_modes()
+    exact = sum(1 for t in techniques if t.pixel_exact)
+    approximate = len(techniques) - exact
+    # Reference backend: every exact technique but baseline gets a
+    # pixel-identity check; every approximate one an error-bound check
+    # plus a shaded-budget check.  Each extra backend compares every
+    # exact technique (baseline included) to baseline[reference] and
+    # every approximate one to itself on the reference backend.  Two
+    # invariant checks per backend.
+    checks = (exact - 1) + 2 * approximate + 2
+    checks += (backends - 1) * (exact + approximate + 2)
+    return checks
 
 
 class TestValidationReport:
@@ -30,7 +48,7 @@ class TestValidateStream:
         stream = benchmark_stream("cde", config)
         report = validate_stream(stream, config)
         assert report.passed, report.render()
-        assert len(report.checks) == 6
+        assert len(report.checks) == _expected_checks(backends=1)
 
     def test_3d_benchmark_passes(self):
         config = GPUConfig.tiny(frames=4)
@@ -58,7 +76,7 @@ class TestValidateAcrossBackends:
         # One backend: the check labels stay exactly the historical
         # ones, so existing tooling parsing them keeps working.
         assert "re: images pixel-identical to baseline" in report.checks
-        assert len(report.checks) == 6
+        assert len(report.checks) == _expected_checks(backends=1)
 
     def test_differential_covers_modes_times_backends(self):
         config = GPUConfig.tiny(frames=3)
@@ -66,9 +84,9 @@ class TestValidateAcrossBackends:
         report = validate_stream(stream, config,
                                  backends=("python", "numpy"))
         assert report.passed, report.render()
-        # 5 modes x 2 backends: 9 pixel-identity checks against
-        # baseline[python] plus 2 invariant checks per backend.
-        assert len(report.checks) == 13
+        # Every registered technique on both backends, plus the two
+        # invariant checks per backend.
+        assert len(report.checks) == _expected_checks(backends=2)
         labels = " ".join(report.checks)
         assert "baseline[numpy]: pixel-identical to baseline[python]" \
             in report.checks
